@@ -1,0 +1,129 @@
+package walrus
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"walrus/internal/imgio"
+	"walrus/internal/region"
+)
+
+// BatchItem is one image to index in AddBatch.
+type BatchItem struct {
+	ID    string
+	Image *imgio.Image
+}
+
+// AddBatch indexes many images, running the expensive region extraction on
+// up to workers goroutines (0 = GOMAXPROCS) while keeping index insertion
+// ordered and serialized. It stops at the first error; items before the
+// failing one remain indexed.
+func (db *DB) AddBatch(items []BatchItem, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if len(items) == 0 {
+		return nil
+	}
+
+	type extracted struct {
+		regions []region.Region
+		err     error
+	}
+	results := make([]extracted, len(items))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				regions, err := db.ext.Extract(items[i].Image)
+				results[i] = extracted{regions: regions, err: err}
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, it := range items {
+		if results[i].err != nil {
+			return fmt.Errorf("walrus: extracting regions of %q: %w", it.ID, results[i].err)
+		}
+		if err := db.addExtracted(it.ID, it.Image, results[i].regions); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addExtracted is Add's insertion half, reused by AddBatch.
+func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.byID[id]; dup {
+		return fmt.Errorf("walrus: image %q already indexed", id)
+	}
+	imgIdx := len(db.images)
+	db.images = append(db.images, imageRecord{ID: id, W: im.W, H: im.H, Regions: regions})
+	db.byID[id] = imgIdx
+	for local, r := range regions {
+		payload := int64(len(db.refs))
+		ref := regionRef{Image: imgIdx, Local: local}
+		if db.persist != nil {
+			rec, err := r.MarshalBinary()
+			if err != nil {
+				return fmt.Errorf("walrus: encoding region of %q: %w", id, err)
+			}
+			rid, err := db.persist.heap.Insert(rec)
+			if err != nil {
+				return fmt.Errorf("walrus: storing region of %q: %w", id, err)
+			}
+			ref.RID = rid.Pack()
+		}
+		db.refs = append(db.refs, ref)
+		if err := db.tree.Insert(db.signatureRect(r), payload); err != nil {
+			return fmt.Errorf("walrus: indexing region of %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes database state.
+type Stats struct {
+	// Images is the number of indexed images; Regions the number of live
+	// regions.
+	Images, Regions int
+	// IndexHeight is the R*-tree height (1 = the root is a leaf).
+	IndexHeight int
+	// SignatureDim is the dimensionality of indexed region signatures.
+	SignatureDim int
+	// DiskBacked reports whether the database persists to a directory.
+	DiskBacked bool
+}
+
+// Stats returns a snapshot of database statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	live := 0
+	for _, ref := range db.refs {
+		if ref.Local >= 0 {
+			live++
+		}
+	}
+	return Stats{
+		Images:       len(db.byID),
+		Regions:      live,
+		IndexHeight:  db.tree.Height(),
+		SignatureDim: db.opts.Region.Dim(),
+		DiskBacked:   db.persist != nil,
+	}
+}

@@ -1,0 +1,97 @@
+// Command walrus-index builds a disk-backed WALRUS index over a dataset
+// directory produced by walrus-gen (or any directory of PPM files with a
+// labels.tsv).
+//
+// Usage:
+//
+//	walrus-index -data data/ -index idx/ -window 64 -cluster-eps 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"walrus"
+	"walrus/internal/colorspace"
+	"walrus/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("walrus-index: ")
+	var (
+		data       = flag.String("data", "data", "dataset directory (from walrus-gen)")
+		index      = flag.String("index", "idx", "index directory to create")
+		window     = flag.Int("window", 64, "sliding window size (power of two)")
+		minWindow  = flag.Int("min-window", 0, "smallest window size (default: same as -window)")
+		sig        = flag.Int("signature", 2, "signature side s (power of two)")
+		step       = flag.Int("step", 8, "sliding step t (power of two)")
+		clusterEps = flag.Float64("cluster-eps", 0.05, "BIRCH clustering epsilon")
+		space      = flag.String("space", "YCC", "color space (RGB, YCC, YIQ, YUV, HSV, XYZ)")
+		bbox       = flag.Bool("bbox", false, "index signature bounding boxes instead of centroids")
+		merge      = flag.Bool("merge-regions", false, "agglomeratively merge clusters after BIRCH")
+		refine     = flag.Int("refine-iterations", 0, "centroid refinement passes after clustering")
+		fineSig    = flag.Int("fine-signature", 0, "store finer NxN signatures for the refined matching phase (0 = off)")
+	)
+	flag.Parse()
+
+	sp, err := colorspace.Parse(*space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := walrus.DefaultOptions()
+	opts.Region.MaxWindow = *window
+	opts.Region.MinWindow = *window
+	if *minWindow > 0 {
+		opts.Region.MinWindow = *minWindow
+	}
+	opts.Region.Signature = *sig
+	opts.Region.Step = *step
+	opts.Region.ClusterEps = *clusterEps
+	opts.Region.Space = sp
+	opts.Region.MergeRegions = *merge
+	opts.Region.RefineIterations = *refine
+	opts.Region.FineSignature = *fineSig
+	opts.UseBBox = *bbox
+
+	ds, err := dataset.Load(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := walrus.Create(*index, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	// Extract regions in parallel; insertion order stays deterministic.
+	const chunk = 100
+	items := make([]walrus.BatchItem, 0, chunk)
+	for i, it := range ds.Items {
+		items = append(items, walrus.BatchItem{ID: it.ID, Image: it.Image})
+		if len(items) == chunk || i == len(ds.Items)-1 {
+			if err := db.AddBatch(items, 0); err != nil {
+				log.Fatalf("indexing: %v", err)
+			}
+			items = items[:0]
+			fmt.Fprintf(os.Stderr, "  indexed %d/%d images\n", i+1, len(ds.Items))
+		}
+	}
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d images (%d regions) into %s in %s\n",
+		len(ds.Items), dbRegions(*index), *index, time.Since(start).Round(time.Millisecond))
+}
+
+// dbRegions reopens the index briefly to report the region count.
+func dbRegions(dir string) int {
+	db, err := walrus.Open(dir)
+	if err != nil {
+		return 0
+	}
+	defer db.Close()
+	return db.NumRegions()
+}

@@ -1,0 +1,108 @@
+// Command walrus-query runs a similarity query against a disk-backed
+// WALRUS index built by walrus-index.
+//
+// Usage:
+//
+//	walrus-query -index idx/ -image data/flowers-0003.ppm -eps 0.085 -k 14
+//
+// The query image may be PPM/PGM (decoded natively) or PNG/JPEG/GIF
+// (decoded with the standard library).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	_ "image/gif"
+	_ "image/jpeg"
+	_ "image/png"
+	"log"
+	"os"
+	"strings"
+
+	"walrus"
+	"walrus/internal/imgio"
+	"walrus/internal/match"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("walrus-query: ")
+	var (
+		index   = flag.String("index", "idx", "index directory")
+		imgPath = flag.String("image", "", "query image path (PPM, PNG, JPEG or GIF)")
+		eps     = flag.Float64("eps", 0.085, "matching epsilon")
+		tau     = flag.Float64("tau", 0, "similarity threshold")
+		k       = flag.Int("k", 14, "number of results")
+		matcher = flag.String("matcher", "quick", "image matcher: quick, greedy, exact or assignment")
+		sceneXY = flag.String("scene", "", "query with a sub-rectangle only: x,y,w,h (user-specified scene)")
+	)
+	flag.Parse()
+	if *imgPath == "" {
+		log.Fatal("missing -image")
+	}
+
+	im, err := loadImage(*imgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := walrus.Open(*index)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	params := walrus.DefaultQueryParams()
+	params.Epsilon = *eps
+	params.Tau = *tau
+	params.Limit = *k
+	switch *matcher {
+	case "quick":
+		params.Matcher = match.Quick
+	case "greedy":
+		params.Matcher = match.Greedy
+	case "exact":
+		params.Matcher = match.Exact
+	case "assignment":
+		params.Matcher = match.Assignment
+	default:
+		log.Fatalf("unknown matcher %q", *matcher)
+	}
+
+	var matches []walrus.Match
+	var stats walrus.QueryStats
+	if *sceneXY != "" {
+		var x, y, w, h int
+		if _, err := fmt.Sscanf(*sceneXY, "%d,%d,%d,%d", &x, &y, &w, &h); err != nil {
+			log.Fatalf("bad -scene %q: %v", *sceneXY, err)
+		}
+		matches, stats, err = db.QueryScene(im, x, y, w, h, params)
+	} else {
+		matches, stats, err = db.Query(im, params)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %d regions, %d matching regions over %d candidate images, %s\n",
+		stats.QueryRegions, stats.RegionsRetrieved, stats.CandidateImages, stats.Elapsed)
+	fmt.Printf("%-5s %-24s %12s %10s\n", "rank", "image", "similarity", "regions")
+	for i, m := range matches {
+		fmt.Printf("%-5d %-24s %12.4f %10d\n", i+1, m.ID, m.Similarity, m.MatchingRegions)
+	}
+}
+
+func loadImage(path string) (*imgio.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".ppm") || strings.HasSuffix(path, ".pgm") {
+		return imgio.DecodePPM(f)
+	}
+	std, _, err := image.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return imgio.FromStdImage(std), nil
+}

@@ -1,0 +1,110 @@
+package walrus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries: many goroutines query the same database while
+// others add images; run with -race to check synchronization.
+func TestConcurrentQueries(t *testing.T) {
+	db, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Add(fmt.Sprintf("seed-%d", i), scene(green, red, i*12, i*9, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := scene(green, red, 24, 24, 40)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	// Readers.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, _, err := db.Query(q, DefaultQueryParams()); err != nil {
+					errs <- err
+					return
+				}
+				db.Stats()
+				db.IDs()
+			}
+		}()
+	}
+	// Writers.
+	for g := 0; g < 3; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				id := fmt.Sprintf("w%d-%d", g, i)
+				if err := db.Add(id, scene(gray, blue, g*10+i, i*13, 40)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if db.Len() != 4+3*5 {
+		t.Fatalf("Len = %d, want %d", db.Len(), 4+3*5)
+	}
+	// The database is still consistent: a query succeeds and every id is
+	// queryable.
+	matches, _, err := db.Query(q, DefaultQueryParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches after concurrent load")
+	}
+}
+
+// TestConcurrentRemove: removals interleaved with queries stay consistent.
+func TestConcurrentRemove(t *testing.T) {
+	db, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := db.Add(fmt.Sprintf("img-%d", i), scene(green, red, i*8, i*6, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	q := scene(green, red, 20, 20, 40)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i += 2 {
+			if _, err := db.Remove(fmt.Sprintf("img-%d", i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, _, err := db.Query(q, DefaultQueryParams()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if db.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", db.Len(), n/2)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: index three small synthetic scenes in an in-memory WALRUS
+// database and query with a variant of one of them. Demonstrates that
+// WALRUS retrieves the image whose *regions* match, even though the shared
+// object sits at a different position in the query.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"walrus"
+	"walrus/internal/imgio"
+)
+
+// scene paints a base color with a square object of another color — the
+// simplest possible "image with one region of interest".
+func scene(baseR, baseG, baseB, objR, objG, objB float64, x, y, side int) *imgio.Image {
+	im := imgio.New(128, 128, 3)
+	im.FillRGB(baseR, baseG, baseB)
+	for yy := y; yy < y+side; yy++ {
+		for xx := x; xx < x+side; xx++ {
+			im.SetRGB(xx, yy, objR, objG, objB)
+		}
+	}
+	return im
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Create an in-memory database with the paper's default parameters.
+	db, err := walrus.New(walrus.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index three images: red square on green (bottom-right), blue square
+	// on gray, yellow square on dark blue.
+	images := []struct {
+		id string
+		im *imgio.Image
+	}{
+		{"red-on-green", scene(0.15, 0.6, 0.2, 0.85, 0.1, 0.1, 70, 70, 50)},
+		{"blue-on-gray", scene(0.5, 0.5, 0.5, 0.1, 0.2, 0.85, 20, 20, 50)},
+		{"yellow-on-navy", scene(0.05, 0.1, 0.35, 0.9, 0.85, 0.1, 40, 40, 50)},
+	}
+	for _, it := range images {
+		if err := db.Add(it.id, it.im); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d images, %d regions total\n\n", db.Len(), db.NumRegions())
+
+	// Query with a red square on green — but at the OPPOSITE corner from
+	// the indexed image. A whole-image signature would see two quite
+	// different pictures; WALRUS matches the regions.
+	query := scene(0.15, 0.6, 0.2, 0.85, 0.1, 0.1, 8, 8, 50)
+	matches, stats, err := db.Query(query, walrus.DefaultQueryParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %d regions extracted, %d matching regions retrieved, %s elapsed\n",
+		stats.QueryRegions, stats.RegionsRetrieved, stats.Elapsed)
+	fmt.Printf("%-5s %-16s %12s\n", "rank", "image", "similarity")
+	for i, m := range matches {
+		fmt.Printf("%-5d %-16s %12.4f\n", i+1, m.ID, m.Similarity)
+	}
+	if len(matches) > 0 && matches[0].ID == "red-on-green" {
+		fmt.Println("\nthe translated object was matched: region-based retrieval works")
+	}
+}

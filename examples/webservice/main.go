@@ -1,0 +1,188 @@
+// Webservice: a small HTTP image-search service over a WALRUS database.
+// On startup it indexes a synthetic labeled dataset, then serves:
+//
+//	GET  /stats                  — database statistics (JSON)
+//	GET  /search?id=<id>&k=5     — query by an indexed image's id
+//	POST /search?k=5             — query by a PPM image in the request body
+//	POST /images?id=<id>         — index a PPM image from the request body
+//
+// Run with:
+//
+//	go run ./examples/webservice            # serve on :8080
+//	go run ./examples/webservice -selftest  # start, exercise endpoints, exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+
+	"walrus"
+	"walrus/internal/dataset"
+	"walrus/internal/imgio"
+)
+
+type server struct {
+	db *walrus.DB
+	ds *dataset.Dataset
+}
+
+type searchResponse struct {
+	Query   string         `json:"query"`
+	Elapsed string         `json:"elapsed"`
+	Results []searchResult `json:"results"`
+}
+
+type searchResult struct {
+	ID         string  `json:"id"`
+	Category   string  `json:"category"`
+	Similarity float64 `json:"similarity"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"images":  s.db.Len(),
+		"regions": s.db.NumRegions(),
+	})
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	k := 5
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 100 {
+			http.Error(w, "invalid k", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	var query *imgio.Image
+	var label string
+	switch r.Method {
+	case http.MethodGet:
+		id := r.URL.Query().Get("id")
+		item, ok := s.ds.Find(id)
+		if !ok {
+			http.Error(w, "unknown image id", http.StatusNotFound)
+			return
+		}
+		query = item.Image
+		label = id
+	case http.MethodPost:
+		im, err := imgio.DecodePPM(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			http.Error(w, "bad PPM body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		query = im
+		label = "(uploaded)"
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	params := walrus.DefaultQueryParams()
+	params.Limit = k
+	matches, stats, err := s.db.Query(query, params)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := searchResponse{Query: label, Elapsed: stats.Elapsed.String()}
+	for _, m := range matches {
+		resp.Results = append(resp.Results, searchResult{
+			ID:         m.ID,
+			Category:   string(dataset.CategoryOf(m.ID)),
+			Similarity: m.Similarity,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleAddImage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	im, err := imgio.DecodePPM(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "bad PPM body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.db.Add(id, im); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]string{"indexed": id})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	perCat := flag.Int("per-category", 10, "dataset images per category")
+	selftest := flag.Bool("selftest", false, "start, run a few requests against the server, and exit")
+	flag.Parse()
+
+	opts := dataset.DefaultOptions()
+	opts.PerCategory = *perCat
+	ds, err := dataset.Generate(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := walrus.New(walrus.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("indexing %d images...", len(ds.Items))
+	for _, it := range ds.Items {
+		if err := db.Add(it.ID, it.Image); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s := &server{db: db, ds: ds}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/images", s.handleAddImage)
+
+	if *selftest {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, mux)
+		base := "http://" + ln.Addr().String()
+		for _, url := range []string{
+			base + "/stats",
+			base + "/search?id=flowers-0000&k=5",
+		} {
+			resp, err := http.Get(url)
+			if err != nil {
+				log.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			fmt.Printf("GET %s -> %s\n%s\n", url, resp.Status, body)
+		}
+		return
+	}
+	log.Printf("serving on %s (try /stats or /search?id=flowers-0000)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,3 @@
+module walrus
+
+go 1.22

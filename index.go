@@ -1,0 +1,84 @@
+package walrus
+
+import (
+	"fmt"
+
+	"walrus/internal/gist"
+	"walrus/internal/rstar"
+)
+
+// IndexBackend selects the spatial index implementation for in-memory
+// databases.
+type IndexBackend int
+
+const (
+	// IndexRStar is the purpose-built R*-tree (the default, and the only
+	// backend supported by disk-backed databases).
+	IndexRStar IndexBackend = iota
+	// IndexGiST uses the generalized search tree framework with the
+	// rectangle key class — the structure the paper's own implementation
+	// was built on (libgist). Useful as an ablation against the R*-tree.
+	IndexGiST
+)
+
+func (b IndexBackend) String() string {
+	switch b {
+	case IndexRStar:
+		return "rstar"
+	case IndexGiST:
+		return "gist"
+	default:
+		return fmt.Sprintf("IndexBackend(%d)", int(b))
+	}
+}
+
+// spatialIndex abstracts the region index so the DB can run on either the
+// R*-tree or the GiST rectangle tree.
+type spatialIndex interface {
+	Insert(r rstar.Rect, data int64) error
+	Delete(r rstar.Rect, data int64) (bool, error)
+	SearchAll(q rstar.Rect) ([]rstar.Entry, error)
+	Len() int
+	Height() int
+}
+
+// rstar.Tree satisfies spatialIndex directly.
+var _ spatialIndex = (*rstar.Tree)(nil)
+
+// gistIndex adapts the generic GiST to spatialIndex.
+type gistIndex struct {
+	t *gist.Tree[rstar.Rect]
+}
+
+func newGistIndex(dim, capacity int) (*gistIndex, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("walrus: index dimension %d < 1", dim)
+	}
+	t, err := gist.New[rstar.Rect](gist.RectOps{}, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &gistIndex{t: t}, nil
+}
+
+func (g *gistIndex) Insert(r rstar.Rect, data int64) error {
+	g.t.Insert(r, data)
+	return nil
+}
+
+func (g *gistIndex) Delete(r rstar.Rect, data int64) (bool, error) {
+	return g.t.Delete(r, data), nil
+}
+
+func (g *gistIndex) SearchAll(q rstar.Rect) ([]rstar.Entry, error) {
+	var out []rstar.Entry
+	g.t.Search(q, func(key rstar.Rect, data int64) bool {
+		out = append(out, rstar.Entry{Rect: key, Data: data})
+		return true
+	})
+	return out, nil
+}
+
+func (g *gistIndex) Len() int { return g.t.Len() }
+
+func (g *gistIndex) Height() int { return g.t.Height() }

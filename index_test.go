@@ -1,0 +1,90 @@
+package walrus
+
+import (
+	"testing"
+)
+
+// TestGiSTBackendMatchesRStar: both index backends produce identical query
+// results on the same data.
+func TestGiSTBackendMatchesRStar(t *testing.T) {
+	imgs := []BatchItem{
+		{"a", scene(green, red, 10, 10, 50)},
+		{"b", scene(green, red, 60, 60, 50)},
+		{"c", scene(gray, blue, 30, 30, 50)},
+		{"d", scene(green, yellow, 20, 40, 40)},
+	}
+	build := func(backend IndexBackend) *DB {
+		o := testOptions()
+		o.Index = backend
+		db, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range imgs {
+			if err := db.Add(it.ID, it.Image); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	rs := build(IndexRStar)
+	gi := build(IndexGiST)
+	if rs.NumRegions() != gi.NumRegions() {
+		t.Fatalf("region counts differ: %d vs %d", rs.NumRegions(), gi.NumRegions())
+	}
+	for _, q := range []struct{ x, y int }{{8, 8}, {40, 40}, {70, 20}} {
+		query := scene(green, red, q.x, q.y, 50)
+		mr, _, err := rs.Query(query, DefaultQueryParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg, _, err := gi.Query(query, DefaultQueryParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mr) != len(mg) {
+			t.Fatalf("result counts differ: %d vs %d", len(mr), len(mg))
+		}
+		for i := range mr {
+			if mr[i].ID != mg[i].ID || mr[i].Similarity != mg[i].Similarity {
+				t.Fatalf("rank %d: rstar %+v vs gist %+v", i, mr[i], mg[i])
+			}
+		}
+	}
+	// Remove works on the gist backend too.
+	ok, err := gi.Remove("b")
+	if err != nil || !ok {
+		t.Fatalf("gist Remove: %v %v", ok, err)
+	}
+	if gi.Len() != 3 {
+		t.Fatalf("Len = %d", gi.Len())
+	}
+	if gi.Stats().IndexHeight < 1 {
+		t.Fatal("gist Height")
+	}
+}
+
+func TestIndexBackendString(t *testing.T) {
+	if IndexRStar.String() != "rstar" || IndexGiST.String() != "gist" {
+		t.Fatal("IndexBackend strings")
+	}
+	if IndexBackend(9).String() == "" {
+		t.Fatal("unknown backend string")
+	}
+}
+
+// TestGiSTBackendRestrictions: disk mode and bulk load require the R*-tree.
+func TestGiSTBackendRestrictions(t *testing.T) {
+	o := testOptions()
+	o.Index = IndexGiST
+	if _, err := Create(t.TempDir(), o); err == nil {
+		t.Fatal("Create accepted gist backend")
+	}
+	if _, err := BuildFrom(o, nil, 0); err == nil {
+		t.Fatal("BuildFrom accepted gist backend")
+	}
+	o.Index = IndexBackend(7)
+	if _, err := New(o); err == nil {
+		t.Fatal("New accepted unknown backend")
+	}
+}

@@ -1,0 +1,46 @@
+package birch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(4))
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func BenchmarkClusterPoints(b *testing.B) {
+	for _, n := range []int{200, 2000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			points := benchPoints(n, 12)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ClusterPoints(points, 0.05, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRefineClusters(b *testing.B) {
+	points := benchPoints(2000, 12)
+	clusters, err := ClusterPoints(points, 0.05, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RefineClusters(points, clusters, 3)
+	}
+}

@@ -1,0 +1,54 @@
+package birch
+
+import "math"
+
+// MergeClusters agglomeratively merges clusters whose union still has
+// radius at most threshold. The CF-tree's pre-clustering is sensitive to
+// insertion order and can split one natural cluster across several leaf
+// entries; this repair pass greedily merges the closest admissible pair
+// until no pair qualifies, restoring the radius guarantee the threshold
+// expresses. The input slice is not modified; O(k²) per merge for k
+// clusters, which is fine for the per-image cluster counts WALRUS sees.
+func MergeClusters(clusters []Cluster, threshold float64) []Cluster {
+	work := make([]Cluster, len(clusters))
+	for i, c := range clusters {
+		work[i] = Cluster{
+			CF:       c.CF.Clone(),
+			Members:  append([]int(nil), c.Members...),
+			Centroid: append([]float64(nil), c.Centroid...),
+			Min:      append([]float64(nil), c.Min...),
+			Max:      append([]float64(nil), c.Max...),
+		}
+	}
+	for len(work) > 1 {
+		bestI, bestJ := -1, -1
+		bestR := math.Inf(1)
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				r := mergedRadius(&work[i].CF, &work[j].CF)
+				if r <= threshold && r < bestR {
+					bestR = r
+					bestI, bestJ = i, j
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		a, b := &work[bestI], &work[bestJ]
+		a.CF.Merge(&b.CF)
+		a.Members = append(a.Members, b.Members...)
+		for k := range a.Min {
+			if b.Min[k] < a.Min[k] {
+				a.Min[k] = b.Min[k]
+			}
+			if b.Max[k] > a.Max[k] {
+				a.Max[k] = b.Max[k]
+			}
+		}
+		a.Centroid = a.CF.Centroid()
+		work[bestJ] = work[len(work)-1]
+		work = work[:len(work)-1]
+	}
+	return work
+}

@@ -1,0 +1,127 @@
+package birch
+
+import "math"
+
+// RefineClusters runs up to iterations rounds of centroid refinement over
+// the given clusters (BIRCH's optional phase 4): every point is reassigned
+// to its nearest cluster centroid and centroids are recomputed, which
+// removes the remaining insertion-order sensitivity of the CF-tree at the
+// cost of extra passes over the points. Empty clusters are dropped.
+// Refinement stops early when an iteration moves no point.
+//
+// points[i] must be the point that was inserted with id i; member ids in
+// the result index into points.
+func RefineClusters(points [][]float64, clusters []Cluster, iterations int) []Cluster {
+	if len(clusters) <= 1 || iterations < 1 || len(points) == 0 {
+		return clusters
+	}
+	dim := len(points[0])
+	centroids := make([][]float64, len(clusters))
+	for i, c := range clusters {
+		centroids[i] = append([]float64(nil), c.Centroid...)
+	}
+	assign := make([]int, len(points))
+	// Initial assignment from the cluster membership.
+	for ci, c := range clusters {
+		for _, m := range c.Members {
+			if m >= 0 && m < len(points) {
+				assign[m] = ci
+			}
+		}
+	}
+	for iter := 0; iter < iterations; iter++ {
+		moved := 0
+		for pi, p := range points {
+			best := assign[pi]
+			bestD := math.Inf(1)
+			for ci, c := range centroids {
+				if c == nil {
+					continue
+				}
+				d := 0.0
+				for j := range p {
+					diff := p[j] - c[j]
+					d += diff * diff
+				}
+				if d < bestD {
+					bestD = d
+					best = ci
+				}
+			}
+			if best != assign[pi] {
+				assign[pi] = best
+				moved++
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, len(centroids))
+		sums := make([][]float64, len(centroids))
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for pi, p := range points {
+			ci := assign[pi]
+			counts[ci]++
+			for j := range p {
+				sums[ci][j] += p[j]
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				centroids[ci] = nil
+				continue
+			}
+			if centroids[ci] == nil {
+				centroids[ci] = make([]float64, dim)
+			}
+			for j := 0; j < dim; j++ {
+				centroids[ci][j] = sums[ci][j] / float64(counts[ci])
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+
+	// Rebuild clusters from the final assignment.
+	rebuilt := make([]Cluster, 0, len(clusters))
+	for ci := range centroids {
+		if centroids[ci] == nil {
+			continue
+		}
+		cf := NewCF(dim)
+		var members []int
+		var min, max []float64
+		for pi, p := range points {
+			if assign[pi] != ci {
+				continue
+			}
+			cf.Add(p)
+			members = append(members, pi)
+			if min == nil {
+				min = append([]float64(nil), p...)
+				max = append([]float64(nil), p...)
+				continue
+			}
+			for j := range p {
+				if p[j] < min[j] {
+					min[j] = p[j]
+				}
+				if p[j] > max[j] {
+					max[j] = p[j]
+				}
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		rebuilt = append(rebuilt, Cluster{
+			CF:       cf,
+			Members:  members,
+			Centroid: cf.Centroid(),
+			Min:      min,
+			Max:      max,
+		})
+	}
+	return rebuilt
+}

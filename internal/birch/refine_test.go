@@ -1,0 +1,106 @@
+package birch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sse computes the sum of squared distances from points to their cluster
+// centroids — the quantity refinement must not increase.
+func sse(points [][]float64, clusters []Cluster) float64 {
+	total := 0.0
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			for j := range points[m] {
+				d := points[m][j] - c.Centroid[j]
+				total += d * d
+			}
+		}
+	}
+	return total
+}
+
+func TestRefineClustersImprovesSSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	centers := [][]float64{{0, 0}, {3, 0}, {0, 3}}
+	points, _ := gaussianBlobs(rng, centers, 60, 0.4)
+	// Shuffle so the CF-tree sees an adversarial order.
+	rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+	clusters, err := ClusterPoints(points, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sse(points, clusters)
+	refined := RefineClusters(points, clusters, 10)
+	after := sse(points, refined)
+	if after > before+1e-9 {
+		t.Fatalf("refinement increased SSE: %v -> %v", before, after)
+	}
+	// Membership is a partition of the points.
+	var all []int
+	for _, c := range refined {
+		all = append(all, c.Members...)
+		if len(c.Members) != c.CF.N {
+			t.Fatalf("member count %d != CF.N %d", len(c.Members), c.CF.N)
+		}
+		for _, m := range c.Members {
+			for j := range points[m] {
+				if points[m][j] < c.Min[j]-1e-12 || points[m][j] > c.Max[j]+1e-12 {
+					t.Fatal("member escapes bbox after refinement")
+				}
+			}
+		}
+	}
+	sort.Ints(all)
+	if len(all) != len(points) {
+		t.Fatalf("refined clusters hold %d of %d points", len(all), len(points))
+	}
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("duplicate or missing member at %d: %v", i, v)
+		}
+	}
+}
+
+func TestRefineClustersConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	points := make([][]float64, 100)
+	for i := range points {
+		points[i] = []float64{rng.Float64()}
+	}
+	clusters, err := ClusterPoints(points, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RefineClusters(points, clusters, 50)
+	b := RefineClusters(points, a, 1)
+	// A converged refinement is a fixed point.
+	if math.Abs(sse(points, a)-sse(points, b)) > 1e-12 {
+		t.Fatalf("refinement not converged: %v vs %v", sse(points, a), sse(points, b))
+	}
+}
+
+func TestRefineClustersDegenerate(t *testing.T) {
+	if got := RefineClusters(nil, nil, 3); got != nil {
+		t.Fatal("nil input")
+	}
+	points := [][]float64{{1}, {2}}
+	clusters, err := ClusterPoints(points, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("%d clusters", len(clusters))
+	}
+	// Single cluster: unchanged.
+	got := RefineClusters(points, clusters, 3)
+	if len(got) != 1 || got[0].CF.N != 2 {
+		t.Fatalf("single-cluster refinement changed: %+v", got)
+	}
+	// Zero iterations: unchanged.
+	if got := RefineClusters(points, clusters, 0); len(got) != 1 {
+		t.Fatal("0 iterations changed clusters")
+	}
+}

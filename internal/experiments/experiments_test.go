@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"walrus"
+	"walrus/internal/dataset"
+	"walrus/internal/region"
+)
+
+// smallDataset builds a quick dataset whose images fit 32-pixel windows.
+func smallDataset(t *testing.T, perCategory int, cats ...dataset.Category) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Options{
+		Seed:        11,
+		PerCategory: perCategory,
+		Sizes:       [][2]int{{96, 64}, {64, 96}},
+		Categories:  cats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// smallConfig shrinks the paper's parameters for fast tests.
+func smallConfig() WalrusConfig {
+	cfg := PaperWalrusConfig()
+	cfg.Options.Region.MaxWindow = 32
+	cfg.Options.Region.MinWindow = 32
+	cfg.Options.Region.Step = 8
+	return cfg
+}
+
+func TestFig6aShape(t *testing.T) {
+	rows, err := Fig6a(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // windows 2..32
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Param != 2<<i {
+			t.Fatalf("row %d param %d", i, r.Param)
+		}
+		if r.DP <= 0 || r.Naive <= 0 {
+			t.Fatalf("row %d has zero timing: %+v", i, r)
+		}
+	}
+	// The DP advantage must grow with window size; at the largest window
+	// the naive algorithm must be clearly slower.
+	if rows[len(rows)-1].Speedup() < 2 {
+		t.Fatalf("DP speedup at window 32 = %.2f, want >= 2", rows[len(rows)-1].Speedup())
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, "Figure 6(a)", "window", rows)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("PrintFig6 missing header")
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	rows, err := Fig6b(64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // signatures 2, 4, 8
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Naive time is roughly flat in the signature size; DP grows but stays
+	// faster at small signatures.
+	if rows[0].Speedup() < 1.5 {
+		t.Fatalf("speedup at s=2 is %.2f, want >= 1.5", rows[0].Speedup())
+	}
+}
+
+func TestFig7AndFig8(t *testing.T) {
+	ds := smallDataset(t, 6, dataset.Flowers, dataset.Bricks, dataset.Ocean)
+	query := ds.ByCategory(dataset.Flowers)[0]
+
+	fig7, err := Fig7(ds, query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig7.System != "WBIIS" || len(fig7.Rows) != 5 {
+		t.Fatalf("fig7 = %+v", fig7)
+	}
+	for _, row := range fig7.Rows {
+		if row.ID == query.ID {
+			t.Fatal("query image returned as its own match")
+		}
+	}
+
+	cfg := smallConfig()
+	db, err := BuildWalrusDB(ds, cfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig8, err := Fig8(db, query, cfg.Params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig8.System != "WALRUS" || len(fig8.Rows) == 0 {
+		t.Fatalf("fig8 = %+v", fig8)
+	}
+	if fig8.Precision() < 0.4 {
+		t.Fatalf("WALRUS precision %.2f too low on an easy dataset", fig8.Precision())
+	}
+	var buf bytes.Buffer
+	PrintRetrieval(&buf, fig8)
+	if !strings.Contains(buf.String(), "WALRUS") {
+		t.Fatal("PrintRetrieval missing system name")
+	}
+}
+
+func TestTable1Monotonicity(t *testing.T) {
+	ds := smallDataset(t, 5, dataset.Flowers, dataset.Ocean)
+	cfg := smallConfig()
+	db, err := BuildWalrusDB(ds, cfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := ds.ByCategory(dataset.Flowers)[1]
+	rows, err := Table1(db, query.Image, cfg.Params, []float64{0.05, 0.07, 0.09})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgRegions < rows[i-1].AvgRegions {
+			t.Fatalf("avg regions not monotone: %+v", rows)
+		}
+		if rows[i].DistinctImages < rows[i-1].DistinctImages {
+			t.Fatalf("distinct images not monotone: %+v", rows)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "distinct images") {
+		t.Fatal("PrintTable1 missing header")
+	}
+}
+
+func TestRegionsPerImage(t *testing.T) {
+	ds := smallDataset(t, 2, dataset.Flowers)
+	opts := region.DefaultOptions()
+	opts.MaxWindow = 32
+	opts.MinWindow = 32
+	opts.Step = 8
+	rows, err := RegionsPerImage(ds.Items, opts, []float64{0.025, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Region counts fall (or at least do not grow materially) as εc grows.
+	if rows[1].YCC > rows[0].YCC+1 {
+		t.Fatalf("YCC counts grew with epsilon: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.YCC <= 0 || r.RGB <= 0 {
+			t.Fatalf("zero counts: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintRegionsPerImage(&buf, rows)
+	if !strings.Contains(buf.String(), "RGB/YCC") {
+		t.Fatal("PrintRegionsPerImage missing header")
+	}
+}
+
+func TestMatcherAblation(t *testing.T) {
+	ds := smallDataset(t, 3, dataset.Flowers, dataset.Bricks)
+	cfg := smallConfig()
+	db, err := BuildWalrusDB(ds, cfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := ds.ByCategory(dataset.Flowers)[0]
+	rows, err := MatcherAblation(db, query.Image, cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Quick >= exact >= greedy similarity on the same candidates.
+	if rows[0].Similarity < rows[2].Similarity-1e-9 {
+		t.Fatalf("quick < exact: %+v", rows)
+	}
+	if rows[2].Similarity < rows[1].Similarity-1e-9 {
+		t.Fatalf("exact < greedy: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintMatcherAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "matcher") {
+		t.Fatal("PrintMatcherAblation missing header")
+	}
+}
+
+func TestPaperWalrusConfigMatchesPaper(t *testing.T) {
+	cfg := PaperWalrusConfig()
+	o := cfg.Options.Region
+	if o.MaxWindow != 64 || o.MinWindow != 64 {
+		t.Errorf("window = %d..%d, want fixed 64", o.MinWindow, o.MaxWindow)
+	}
+	if o.Signature != 2 {
+		t.Errorf("signature = %d, want 2", o.Signature)
+	}
+	if o.ClusterEps != 0.05 {
+		t.Errorf("cluster eps = %v, want 0.05", o.ClusterEps)
+	}
+	if o.BitmapGrid != 16 {
+		t.Errorf("bitmap grid = %d, want 16", o.BitmapGrid)
+	}
+	if cfg.Params.Epsilon != 0.085 {
+		t.Errorf("epsilon = %v, want 0.085", cfg.Params.Epsilon)
+	}
+	if dim := o.Dim(); dim != 12 {
+		t.Errorf("signature dim = %d, want 12", dim)
+	}
+}
+
+func TestBuildWalrusDB(t *testing.T) {
+	ds := smallDataset(t, 2, dataset.Ocean)
+	cfg := smallConfig()
+	db, err := BuildWalrusDB(ds, cfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if _, err := BuildWalrusDB(ds, walrus.Options{}); err == nil {
+		t.Fatal("BuildWalrusDB accepted zero options")
+	}
+}
+
+func TestIndexingThroughput(t *testing.T) {
+	ds := smallDataset(t, 3, dataset.Flowers, dataset.Ocean)
+	rows, err := IndexingThroughput(ds, smallConfig().Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Images != len(ds.Items) {
+			t.Fatalf("%s indexed %d images, want %d", r.Method, r.Images, len(ds.Items))
+		}
+		if r.Regions == 0 || r.Elapsed <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	// All strategies index the same regions.
+	if rows[0].Regions != rows[1].Regions || rows[1].Regions != rows[2].Regions {
+		t.Fatalf("region counts differ across strategies: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintIndexing(&buf, rows)
+	if !strings.Contains(buf.String(), "elapsed") {
+		t.Fatal("PrintIndexing missing header")
+	}
+}

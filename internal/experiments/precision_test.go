@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"walrus/internal/dataset"
+)
+
+func TestMeanPrecision(t *testing.T) {
+	ds := smallDataset(t, 6, dataset.Flowers, dataset.Ocean, dataset.Bricks)
+	cfg := smallConfig()
+	rows, err := MeanPrecision(ds, cfg, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]PrecisionRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+		if r.Queries != 6 { // 2 per category × 3 categories
+			t.Fatalf("%s: %d queries", r.System, r.Queries)
+		}
+		if r.MeanPrecision < 0 || r.MeanPrecision > 1 {
+			t.Fatalf("%s precision %v out of range", r.System, r.MeanPrecision)
+		}
+	}
+	// On well-separated categories every system should beat random
+	// guessing (1/3), and WALRUS should do well in absolute terms.
+	if byName["WALRUS"].MeanPrecision < 0.5 {
+		t.Fatalf("WALRUS precision %v too low", byName["WALRUS"].MeanPrecision)
+	}
+	var buf bytes.Buffer
+	PrintPrecision(&buf, 4, rows)
+	if !strings.Contains(buf.String(), "mean precision") {
+		t.Fatal("PrintPrecision missing header")
+	}
+}
+
+func TestMeanPrecisionEmptyDataset(t *testing.T) {
+	ds := &dataset.Dataset{}
+	if _, err := MeanPrecision(ds, smallConfig(), 1, 5); err == nil {
+		t.Fatal("accepted empty dataset")
+	}
+}
+
+func TestEpsilonSweep(t *testing.T) {
+	ds := smallDataset(t, 5, dataset.Flowers, dataset.Ocean)
+	cfg := smallConfig()
+	db, err := BuildWalrusDB(ds, cfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := EpsilonSweep(db, ds, 2, 4, []float64{0.03, 0.085, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.MeanPrecision < 0 || r.MeanPrecision > 1 {
+			t.Fatalf("precision out of range: %+v", r)
+		}
+		if i > 0 && r.AvgRegions < rows[i-1].AvgRegions {
+			t.Fatalf("selectivity not monotone in epsilon: %+v", rows)
+		}
+	}
+	var buf bytes.Buffer
+	PrintEpsilonSweep(&buf, 4, rows)
+	if !strings.Contains(buf.String(), "mean precision") {
+		t.Fatal("PrintEpsilonSweep missing header")
+	}
+	if _, err := EpsilonSweep(db, &dataset.Dataset{}, 1, 4, []float64{0.1}); err == nil {
+		t.Fatal("accepted empty dataset")
+	}
+}

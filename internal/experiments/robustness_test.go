@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"walrus/internal/dataset"
+)
+
+func TestRobustness(t *testing.T) {
+	ds := smallDataset(t, 4, dataset.Flowers, dataset.Ocean, dataset.Bricks)
+	cfg := smallConfig()
+	target := ds.ByCategory(dataset.Flowers)[0]
+	rows, err := Robustness(ds, cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 6 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	byName := map[string]RobustnessRow{}
+	for _, r := range rows {
+		byName[r.Transform] = r
+	}
+	id := byName["identity"]
+	if id.WalrusRank != 1 || id.WBIISRank != 1 {
+		t.Fatalf("identity query did not rank the original first: %+v", id)
+	}
+	if id.WalrusSim < 0.95 {
+		t.Fatalf("identity similarity %v", id.WalrusSim)
+	}
+	// Perturbations tolerated by the region model: the original must be
+	// retrieved (nonzero rank) under noise, dithering and translation.
+	for _, name := range []string{"noise 5%", "dither 8 levels", "translate (16,12)"} {
+		if byName[name].WalrusRank == 0 {
+			t.Errorf("WALRUS missed the original under %q", name)
+		}
+	}
+	var buf bytes.Buffer
+	PrintRobustness(&buf, target.ID, rows)
+	if !strings.Contains(buf.String(), "WALRUS rank") {
+		t.Fatal("PrintRobustness missing header")
+	}
+	if rankString(0) != "miss" || rankString(3) != "3" {
+		t.Fatal("rankString wrong")
+	}
+}

@@ -1,0 +1,311 @@
+// Package gist implements an in-memory Generalized Search Tree
+// (Hellerstein, Naughton, Pfaltz, VLDB 1995). The WALRUS paper built its
+// disk-based index on the libgist package, which provides exactly this
+// abstraction "that makes it easy to implement any type of hierarchical
+// access method" and ships B-tree and R-tree extensions (Section 6.1); we
+// provide the same: a generic height-balanced tree parameterized by a key
+// class, with interval (B-tree-style) and rectangle (R-tree-style)
+// instantiations in this package. The production WALRUS index is the
+// purpose-built R*-tree in package rstar; gist exists for parity with the
+// paper's infrastructure and as the general framework.
+package gist
+
+import "fmt"
+
+// Ops defines a GiST key class: the four extension methods of the GiST
+// paper (Consistent, Union, Penalty, PickSplit) plus key equality, which
+// the framework needs for deletion.
+type Ops[K any] interface {
+	// Consistent reports whether an entry with key k can match query q.
+	// For internal entries k covers a subtree; for leaf entries k is the
+	// stored key.
+	Consistent(k, q K) bool
+	// Union returns a key covering every key in keys (len >= 1).
+	Union(keys []K) K
+	// Penalty returns the cost of extending the subtree key have to also
+	// cover add; insertion descends into the child with minimal penalty.
+	Penalty(have, add K) float64
+	// PickSplit partitions the keys of an overflowing node (len >= 2) into
+	// two non-empty groups, returned as index lists covering every key
+	// exactly once.
+	PickSplit(keys []K) (left, right []int)
+	// Equal reports key equality (used by Delete).
+	Equal(a, b K) bool
+}
+
+// entry is one slot of a node.
+type entry[K any] struct {
+	key   K
+	child *node[K] // nil at leaves
+	data  int64
+}
+
+type node[K any] struct {
+	leaf    bool
+	entries []entry[K]
+}
+
+// Tree is a generalized search tree. Not safe for concurrent mutation.
+type Tree[K any] struct {
+	ops  Ops[K]
+	root *node[K]
+	maxE int
+	minE int
+	size int
+}
+
+// New creates an empty tree with the given node capacity (>= 4).
+func New[K any](ops Ops[K], maxEntries int) (*Tree[K], error) {
+	if maxEntries < 4 {
+		return nil, fmt.Errorf("gist: node capacity %d < 4", maxEntries)
+	}
+	return &Tree[K]{
+		ops:  ops,
+		root: &node[K]{leaf: true},
+		maxE: maxEntries,
+		minE: maxEntries * 2 / 5,
+	}, nil
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[K]) Len() int { return t.size }
+
+// Insert stores (key, data). Duplicates are allowed.
+func (t *Tree[K]) Insert(key K, data int64) {
+	if l, r := t.insert(t.root, entry[K]{key: key, data: data}); l != nil {
+		t.root = &node[K]{entries: []entry[K]{*l, *r}}
+	}
+	t.size++
+}
+
+// insert places e below n, returning replacement entries when n splits.
+func (t *Tree[K]) insert(n *node[K], e entry[K]) (*entry[K], *entry[K]) {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) <= t.maxE {
+			return nil, nil
+		}
+		return t.split(n)
+	}
+	// ChooseSubtree: minimal penalty.
+	best := 0
+	bestPen := t.ops.Penalty(n.entries[0].key, e.key)
+	for i := 1; i < len(n.entries); i++ {
+		if p := t.ops.Penalty(n.entries[i].key, e.key); p < bestPen {
+			bestPen = p
+			best = i
+		}
+	}
+	l, r := t.insert(n.entries[best].child, e)
+	if l == nil {
+		// AdjustKeys: the chosen subtree's key must now cover e.
+		n.entries[best].key = t.ops.Union([]K{n.entries[best].key, e.key})
+		return nil, nil
+	}
+	n.entries[best] = *l
+	n.entries = append(n.entries, *r)
+	if len(n.entries) <= t.maxE {
+		return nil, nil
+	}
+	return t.split(n)
+}
+
+// split partitions an overflowing node with the key class's PickSplit.
+func (t *Tree[K]) split(n *node[K]) (*entry[K], *entry[K]) {
+	keys := make([]K, len(n.entries))
+	for i, e := range n.entries {
+		keys[i] = e.key
+	}
+	leftIdx, rightIdx := t.ops.PickSplit(keys)
+	if len(leftIdx) == 0 || len(rightIdx) == 0 || len(leftIdx)+len(rightIdx) != len(keys) {
+		// A defective PickSplit would corrupt the tree; fall back to an
+		// even split so the structure stays valid.
+		leftIdx = leftIdx[:0]
+		rightIdx = rightIdx[:0]
+		for i := range keys {
+			if i < len(keys)/2 {
+				leftIdx = append(leftIdx, i)
+			} else {
+				rightIdx = append(rightIdx, i)
+			}
+		}
+	}
+	left := &node[K]{leaf: n.leaf}
+	right := &node[K]{leaf: n.leaf}
+	for _, i := range leftIdx {
+		left.entries = append(left.entries, n.entries[i])
+	}
+	for _, i := range rightIdx {
+		right.entries = append(right.entries, n.entries[i])
+	}
+	return &entry[K]{key: t.keyOf(left), child: left}, &entry[K]{key: t.keyOf(right), child: right}
+}
+
+func (t *Tree[K]) keyOf(n *node[K]) K {
+	keys := make([]K, len(n.entries))
+	for i, e := range n.entries {
+		keys[i] = e.key
+	}
+	return t.ops.Union(keys)
+}
+
+// Search calls fn for every stored (key, data) whose key is Consistent
+// with q, stopping early if fn returns false.
+func (t *Tree[K]) Search(q K, fn func(key K, data int64) bool) {
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree[K]) search(n *node[K], q K, fn func(K, int64) bool) bool {
+	for _, e := range n.entries {
+		if !t.ops.Consistent(e.key, q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.key, e.data) {
+				return false
+			}
+			continue
+		}
+		if !t.search(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchAll collects all data values whose keys are Consistent with q.
+func (t *Tree[K]) SearchAll(q K) []int64 {
+	var out []int64
+	t.Search(q, func(_ K, data int64) bool {
+		out = append(out, data)
+		return true
+	})
+	return out
+}
+
+// Delete removes one entry with an Equal key and matching data, reporting
+// whether one was found. Underflowing nodes are dissolved and their
+// entries reinserted.
+func (t *Tree[K]) Delete(key K, data int64) bool {
+	var orphans []entry[K]
+	found := t.delete(t.root, key, data, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	for _, o := range orphans {
+		// Orphans from dissolved leaves are data entries; orphans from
+		// dissolved internal nodes are whole subtrees, which we flatten.
+		t.reinsert(o)
+	}
+	// Shrink the root.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node[K]{leaf: true}
+	}
+	return true
+}
+
+func (t *Tree[K]) reinsert(e entry[K]) {
+	if e.child == nil {
+		if l, r := t.insert(t.root, e); l != nil {
+			t.root = &node[K]{entries: []entry[K]{*l, *r}}
+		}
+		return
+	}
+	for _, ce := range e.child.entries {
+		t.reinsert(ce)
+	}
+}
+
+// delete removes the entry below n, collecting orphaned entries of
+// dissolved nodes. It returns whether the entry was found.
+func (t *Tree[K]) delete(n *node[K], key K, data int64, orphans *[]entry[K]) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.data == data && t.ops.Equal(e.key, key) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i, e := range n.entries {
+		if !t.ops.Consistent(e.key, key) {
+			continue
+		}
+		if !t.delete(e.child, key, data, orphans) {
+			continue
+		}
+		if len(e.child.entries) < t.minE {
+			// Dissolve the child.
+			*orphans = append(*orphans, e.child.entries...)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].key = t.keyOf(e.child)
+		}
+		return true
+	}
+	return false
+}
+
+// CheckInvariants verifies structural soundness: entry counts, uniform
+// leaf depth, internal keys covering their subtrees (every child key must
+// be Consistent with its parent key — a necessary condition for search
+// correctness when Consistent is reflexive containment, as in both bundled
+// key classes), and the stored size.
+func (t *Tree[K]) CheckInvariants() error {
+	count := 0
+	depth := -1
+	var walk func(n *node[K], level int) error
+	walk = func(n *node[K], level int) error {
+		if len(n.entries) > t.maxE {
+			return fmt.Errorf("gist: node has %d entries, max %d", len(n.entries), t.maxE)
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("gist: leaves at depths %d and %d", depth, level)
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for _, e := range n.entries {
+			if e.child == nil {
+				return fmt.Errorf("gist: internal entry without child")
+			}
+			for _, ce := range e.child.entries {
+				if !t.ops.Consistent(e.key, ce.key) {
+					return fmt.Errorf("gist: parent key does not cover child key")
+				}
+			}
+			if err := walk(e.child, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("gist: tree holds %d entries, Len() says %d", count, t.size)
+	}
+	return nil
+}
+
+// Height returns the number of levels in the tree (1 = the root is a
+// leaf).
+func (t *Tree[K]) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		h++
+		if len(n.entries) == 0 {
+			break
+		}
+	}
+	return h
+}

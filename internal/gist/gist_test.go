@@ -1,0 +1,299 @@
+package gist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"walrus/internal/rstar"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[Interval](IntervalOps{}, 3); err == nil {
+		t.Fatal("accepted capacity 3")
+	}
+}
+
+func sortedInt64(v []int64) []int64 {
+	out := append([]int64(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func int64Equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIntervalTreeMatchesBruteForce: range queries over scattered points
+// agree with a linear scan (the B-tree-style use).
+func TestIntervalTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tr, err := New[Interval](IntervalOps{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	points := make([]float64, n)
+	for i := range points {
+		points[i] = rng.Float64() * 100
+		tr.Insert(PointKey(points[i]), int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for q := 0; q < 40; q++ {
+		lo := rng.Float64() * 100
+		hi := lo + rng.Float64()*20
+		got := tr.SearchAll(Interval{Min: lo, Max: hi})
+		var want []int64
+		for i, p := range points {
+			if p >= lo && p <= hi {
+				want = append(want, int64(i))
+			}
+		}
+		if !int64Equal(sortedInt64(got), sortedInt64(want)) {
+			t.Fatalf("query [%v,%v]: got %d results, want %d", lo, hi, len(got), len(want))
+		}
+	}
+}
+
+// TestRectTreeMatchesBruteForce: the R-tree instantiation agrees with a
+// linear scan on rectangle intersection queries.
+func TestRectTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	tr, err := New[rstar.Rect](RectOps{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	rects := make([]rstar.Rect, n)
+	for i := range rects {
+		lo := []float64{rng.Float64(), rng.Float64()}
+		hi := []float64{lo[0] + rng.Float64()*0.1, lo[1] + rng.Float64()*0.1}
+		r, err := rstar.NewRect(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rects[i] = r
+		tr.Insert(r, int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 40; q++ {
+		query := rstar.Point([]float64{rng.Float64(), rng.Float64()}).Expand(0.08)
+		got := tr.SearchAll(query)
+		var want []int64
+		for i, r := range rects {
+			if r.Intersects(query) {
+				want = append(want, int64(i))
+			}
+		}
+		if !int64Equal(sortedInt64(got), sortedInt64(want)) {
+			t.Fatalf("query %d: got %v want %v", q, sortedInt64(got), sortedInt64(want))
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr, err := New[Interval](IntervalOps{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Insert(PointKey(1), int64(i))
+	}
+	n := 0
+	tr.Search(PointKey(1), func(Interval, int64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDeleteAndCondense(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	tr, err := New[Interval](IntervalOps{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	points := make([]float64, n)
+	for i := range points {
+		points[i] = rng.Float64() * 100
+		tr.Insert(PointKey(points[i]), int64(i))
+	}
+	perm := rng.Perm(n)
+	for k, idx := range perm {
+		if !tr.Delete(PointKey(points[idx]), int64(idx)) {
+			t.Fatalf("Delete(%d) not found", idx)
+		}
+		if k%41 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if tr.Delete(PointKey(points[0]), 0) {
+		t.Fatal("Delete on empty tree reported success")
+	}
+	// The tree remains usable.
+	tr.Insert(PointKey(5), 99)
+	if got := tr.SearchAll(PointKey(5)); len(got) != 1 || got[0] != 99 {
+		t.Fatalf("reuse: %v", got)
+	}
+}
+
+// TestGistQuick drives random workloads on the interval instantiation.
+func TestGistQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := New[Interval](IntervalOps{}, 4+rng.Intn(12))
+		if err != nil {
+			return false
+		}
+		n := 20 + rng.Intn(200)
+		points := make([]float64, n)
+		alive := map[int64]bool{}
+		for i := range points {
+			points[i] = rng.Float64() * 10
+			tr.Insert(PointKey(points[i]), int64(i))
+			alive[int64(i)] = true
+		}
+		// Random deletions.
+		for i := 0; i < n/3; i++ {
+			idx := int64(rng.Intn(n))
+			if alive[idx] {
+				if !tr.Delete(PointKey(points[idx]), idx) {
+					return false
+				}
+				delete(alive, idx)
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		if tr.Len() != len(alive) {
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			lo := rng.Float64() * 10
+			hi := lo + rng.Float64()*2
+			got := tr.SearchAll(Interval{Min: lo, Max: hi})
+			var want []int64
+			for i, p := range points {
+				if alive[int64(i)] && p >= lo && p <= hi {
+					want = append(want, int64(i))
+				}
+			}
+			if !int64Equal(sortedInt64(got), sortedInt64(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefectivePickSplitFallback: the framework survives a key class whose
+// PickSplit returns a defective partition.
+type badSplitOps struct{ IntervalOps }
+
+func (badSplitOps) PickSplit(keys []Interval) (left, right []int) {
+	// Defective: put everything on one side.
+	for i := range keys {
+		left = append(left, i)
+	}
+	return left, nil
+}
+
+func TestDefectivePickSplitFallback(t *testing.T) {
+	tr, err := New[Interval](badSplitOps{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(PointKey(float64(i)), int64(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchAll(Interval{Min: 10, Max: 20})
+	if len(got) != 11 {
+		t.Fatalf("found %d results, want 11", len(got))
+	}
+}
+
+func TestIntervalOpsUnits(t *testing.T) {
+	ops := IntervalOps{}
+	if !ops.Consistent(Interval{0, 2}, Interval{2, 3}) {
+		t.Error("touching intervals should be consistent")
+	}
+	if ops.Consistent(Interval{0, 1}, Interval{2, 3}) {
+		t.Error("disjoint intervals consistent")
+	}
+	u := ops.Union([]Interval{{1, 2}, {0, 5}, {3, 9}})
+	if u != (Interval{0, 9}) {
+		t.Errorf("Union = %v", u)
+	}
+	if p := ops.Penalty(Interval{0, 1}, Interval{3, 3}); p != 2 {
+		t.Errorf("Penalty = %v, want 2", p)
+	}
+	if p := ops.Penalty(Interval{0, 4}, Interval{1, 2}); p != 0 {
+		t.Errorf("contained Penalty = %v, want 0", p)
+	}
+}
+
+// TestRectTreeDelete: deletion works on the R-tree instantiation too.
+func TestRectTreeDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	tr, err := New[rstar.Rect](RectOps{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 150
+	rects := make([]rstar.Rect, n)
+	for i := range rects {
+		lo := []float64{rng.Float64(), rng.Float64()}
+		hi := []float64{lo[0] + rng.Float64()*0.05, lo[1] + rng.Float64()*0.05}
+		r, err := rstar.NewRect(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rects[i] = r
+		tr.Insert(r, int64(i))
+	}
+	for _, idx := range rng.Perm(n)[:n/2] {
+		if !tr.Delete(rects[idx], int64(idx)) {
+			t.Fatalf("Delete(%d) not found", idx)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	if tr.Height() < 1 {
+		t.Fatal("Height")
+	}
+}

@@ -1,0 +1,130 @@
+package gist
+
+import (
+	"sort"
+
+	"walrus/internal/rstar"
+)
+
+// Interval is a closed 1-D interval, the key class of the B-tree-style
+// GiST extension. A point is an interval with Min == Max.
+type Interval struct {
+	Min, Max float64
+}
+
+// PointKey returns the degenerate interval at v.
+func PointKey(v float64) Interval { return Interval{Min: v, Max: v} }
+
+// IntervalOps is the B-tree-like key class: keys are intervals, queries
+// match by overlap, and nodes split at the median of the sorted interval
+// starts (yielding the ordered, range-searchable structure a B-tree
+// provides).
+type IntervalOps struct{}
+
+// Consistent implements Ops: interval overlap.
+func (IntervalOps) Consistent(k, q Interval) bool {
+	return k.Min <= q.Max && q.Min <= k.Max
+}
+
+// Union implements Ops: the covering interval.
+func (IntervalOps) Union(keys []Interval) Interval {
+	out := keys[0]
+	for _, k := range keys[1:] {
+		if k.Min < out.Min {
+			out.Min = k.Min
+		}
+		if k.Max > out.Max {
+			out.Max = k.Max
+		}
+	}
+	return out
+}
+
+// Penalty implements Ops: the length increase of have when extended to
+// cover add.
+func (IntervalOps) Penalty(have, add Interval) float64 {
+	lo, hi := have.Min, have.Max
+	if add.Min < lo {
+		lo = add.Min
+	}
+	if add.Max > hi {
+		hi = add.Max
+	}
+	return (hi - lo) - (have.Max - have.Min)
+}
+
+// PickSplit implements Ops: sort by interval start and cut at the median.
+func (IntervalOps) PickSplit(keys []Interval) (left, right []int) {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		if ka.Min != kb.Min {
+			return ka.Min < kb.Min
+		}
+		return ka.Max < kb.Max
+	})
+	mid := len(idx) / 2
+	return idx[:mid], idx[mid:]
+}
+
+// Equal implements Ops.
+func (IntervalOps) Equal(a, b Interval) bool { return a == b }
+
+// RectOps is the R-tree key class over rstar.Rect: queries match by
+// rectangle intersection, penalties are area enlargements (Guttman's
+// ChooseLeaf criterion), and splits sort along the axis with the widest
+// center spread and cut at the median (a linear-time split).
+type RectOps struct{}
+
+// Consistent implements Ops.
+func (RectOps) Consistent(k, q rstar.Rect) bool { return k.Intersects(q) }
+
+// Union implements Ops.
+func (RectOps) Union(keys []rstar.Rect) rstar.Rect {
+	out := keys[0].Clone()
+	for _, k := range keys[1:] {
+		out = out.Union(k)
+	}
+	return out
+}
+
+// Penalty implements Ops.
+func (RectOps) Penalty(have, add rstar.Rect) float64 { return have.Enlargement(add) }
+
+// PickSplit implements Ops.
+func (RectOps) PickSplit(keys []rstar.Rect) (left, right []int) {
+	dim := keys[0].Dim()
+	// Pick the axis with the widest spread of centers.
+	bestAxis, bestSpread := 0, -1.0
+	for a := 0; a < dim; a++ {
+		lo, hi := keys[0].Min[a]+keys[0].Max[a], keys[0].Min[a]+keys[0].Max[a]
+		for _, k := range keys[1:] {
+			c := k.Min[a] + k.Max[a]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			bestSpread, bestAxis = spread, a
+		}
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	a := bestAxis
+	sort.Slice(idx, func(x, y int) bool {
+		return keys[idx[x]].Min[a]+keys[idx[x]].Max[a] < keys[idx[y]].Min[a]+keys[idx[y]].Max[a]
+	})
+	mid := len(idx) / 2
+	return idx[:mid], idx[mid:]
+}
+
+// Equal implements Ops.
+func (RectOps) Equal(a, b rstar.Rect) bool { return a.Equal(b) }

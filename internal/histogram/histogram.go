@@ -1,0 +1,157 @@
+// Package histogram implements a QBIC-style color-histogram baseline
+// (Niblack et al., the earliest class of systems Section 2 of the WALRUS
+// paper discusses). Each image is summarized by a normalized 3-D color
+// histogram; query results are ranked by L1 or L2 histogram distance.
+// Histograms discard all shape, texture and location information, so
+// images with similar color mixes but unrelated content collide — the
+// classic failure mode motivating wavelet signatures.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"walrus/internal/imgio"
+)
+
+// Metric selects the histogram distance.
+type Metric int
+
+const (
+	// L1 is the sum of absolute bin differences.
+	L1 Metric = iota
+	// L2 is the euclidean bin distance.
+	L2
+)
+
+// Options configures a histogram index.
+type Options struct {
+	// BinsPerChannel quantizes each RGB channel into this many bins; the
+	// histogram has BinsPerChannel³ cells.
+	BinsPerChannel int
+	// Metric is the ranking distance.
+	Metric Metric
+}
+
+// DefaultOptions uses the common 4×4×4 = 64-bin histogram with L1.
+func DefaultOptions() Options {
+	return Options{BinsPerChannel: 4, Metric: L1}
+}
+
+// Match is one query result; lower distance is better.
+type Match struct {
+	ID       string
+	Distance float64
+}
+
+type signature struct {
+	id   string
+	hist []float64
+}
+
+// Index is an in-memory histogram index, safe for concurrent use.
+type Index struct {
+	opts Options
+	mu   sync.RWMutex
+	sigs []signature
+}
+
+// New creates an empty index.
+func New(opts Options) (*Index, error) {
+	if opts.BinsPerChannel < 2 || opts.BinsPerChannel > 16 {
+		return nil, fmt.Errorf("histogram: BinsPerChannel %d out of range [2,16]", opts.BinsPerChannel)
+	}
+	return &Index{opts: opts}, nil
+}
+
+// Len returns the number of indexed images.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.sigs)
+}
+
+// Histogram computes the normalized color histogram of an RGB image.
+func Histogram(im *imgio.Image, binsPerChannel int) ([]float64, error) {
+	if im.C != 3 {
+		return nil, fmt.Errorf("histogram: image has %d channels, want 3", im.C)
+	}
+	b := binsPerChannel
+	h := make([]float64, b*b*b)
+	n := im.W * im.H
+	r, g, bl := im.Plane(0), im.Plane(1), im.Plane(2)
+	quant := func(v float64) int {
+		i := int(v * float64(b))
+		if i >= b {
+			i = b - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		h[quant(r[i])*b*b+quant(g[i])*b+quant(bl[i])]++
+	}
+	for i := range h {
+		h[i] /= float64(n)
+	}
+	return h, nil
+}
+
+// Add indexes an RGB image under id.
+func (ix *Index) Add(id string, im *imgio.Image) error {
+	h, err := Histogram(im, ix.opts.BinsPerChannel)
+	if err != nil {
+		return fmt.Errorf("histogram: indexing %q: %w", id, err)
+	}
+	ix.mu.Lock()
+	ix.sigs = append(ix.sigs, signature{id: id, hist: h})
+	ix.mu.Unlock()
+	return nil
+}
+
+// Query returns the k indexed images with the smallest histogram distance.
+func (ix *Index) Query(im *imgio.Image, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	q, err := Histogram(im, ix.opts.BinsPerChannel)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Match, len(ix.sigs))
+	for i := range ix.sigs {
+		out[i] = Match{ID: ix.sigs[i].id, Distance: distance(q, ix.sigs[i].hist, ix.opts.Metric)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func distance(a, b []float64, m Metric) float64 {
+	total := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if m == L1 {
+			total += math.Abs(d)
+		} else {
+			total += d * d
+		}
+	}
+	if m == L2 {
+		return math.Sqrt(total)
+	}
+	return total
+}

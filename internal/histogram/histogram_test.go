@@ -1,0 +1,110 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"walrus/internal/imgio"
+)
+
+func solid(r, g, b float64) *imgio.Image {
+	im := imgio.New(32, 32, 3)
+	im.FillRGB(r, g, b)
+	return im
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{BinsPerChannel: 1}); err == nil {
+		t.Error("accepted 1 bin")
+	}
+	if _, err := New(Options{BinsPerChannel: 99}); err == nil {
+		t.Error("accepted 99 bins")
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	h, err := Histogram(solid(0.9, 0.1, 0.5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	nonzero := 0
+	for _, v := range h {
+		sum += v
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("histogram sums to %v", sum)
+	}
+	if nonzero != 1 {
+		t.Fatalf("solid image fills %d bins", nonzero)
+	}
+	if _, err := Histogram(imgio.New(4, 4, 1), 4); err == nil {
+		t.Error("Histogram accepted 1-channel image")
+	}
+}
+
+func TestQueryRanking(t *testing.T) {
+	for _, metric := range []Metric{L1, L2} {
+		ix, err := New(Options{BinsPerChannel: 4, Metric: metric})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add("red", solid(0.9, 0.1, 0.1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Add("blue", solid(0.1, 0.1, 0.9)); err != nil {
+			t.Fatal(err)
+		}
+		if ix.Len() != 2 {
+			t.Fatalf("Len = %d", ix.Len())
+		}
+		matches, err := ix.Query(solid(0.85, 0.15, 0.1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matches[0].ID != "red" || matches[0].Distance > matches[1].Distance {
+			t.Fatalf("metric %v: %+v", metric, matches)
+		}
+	}
+}
+
+// TestHistogramBlindToLayout documents the known weakness: rearranging the
+// same pixels leaves the histogram identical.
+func TestHistogramBlindToLayout(t *testing.T) {
+	left := imgio.New(32, 32, 3)
+	right := imgio.New(32, 32, 3)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if x < 16 {
+				left.SetRGB(x, y, 1, 0, 0)
+				right.SetRGB(x, y, 0, 0, 1)
+			} else {
+				left.SetRGB(x, y, 0, 0, 1)
+				right.SetRGB(x, y, 1, 0, 0)
+			}
+		}
+	}
+	hl, _ := Histogram(left, 4)
+	hr, _ := Histogram(right, 4)
+	for i := range hl {
+		if hl[i] != hr[i] {
+			t.Fatal("histograms differ for rearranged pixels")
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	ix, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ix.Query(solid(0, 0, 0), 0); err != nil || m != nil {
+		t.Fatalf("k=0: %v %v", m, err)
+	}
+	if m, err := ix.Query(solid(0, 0, 0), 3); err != nil || len(m) != 0 {
+		t.Fatalf("empty: %v %v", m, err)
+	}
+}

@@ -1,0 +1,229 @@
+package imgio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRotate90Geometry(t *testing.T) {
+	im := New(3, 2, 1)
+	// Mark the top-left pixel.
+	im.Set(0, 0, 0, 1)
+	out := Rotate90(im)
+	if out.W != 2 || out.H != 3 {
+		t.Fatalf("rotated shape %dx%d", out.W, out.H)
+	}
+	// Clockwise: (0,0) -> (H-1, 0) = (1, 0).
+	if out.At(0, 1, 0) != 1 {
+		t.Fatalf("rotated pixel misplaced: %v", out.Pix)
+	}
+}
+
+func TestRotationsCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	im := randomImage(rng, 7, 5, 3)
+	// Four quarter turns are the identity.
+	r := Rotate90(Rotate90(Rotate90(Rotate90(im))))
+	d, err := MeanAbsDiff(im, r)
+	if err != nil || d != 0 {
+		t.Fatalf("4x Rotate90 != identity: %v %v", d, err)
+	}
+	// Two quarter turns equal a half turn.
+	a := Rotate90(Rotate90(im))
+	b := Rotate180(im)
+	d, err = MeanAbsDiff(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("Rotate90² != Rotate180: %v %v", d, err)
+	}
+	// 90 then 270 is the identity.
+	c := Rotate270(Rotate90(im))
+	d, err = MeanAbsDiff(im, c)
+	if err != nil || d != 0 {
+		t.Fatalf("Rotate270∘Rotate90 != identity: %v %v", d, err)
+	}
+}
+
+func TestSharpenIdentityAtZeroStrength(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	im := randomImage(rng, 8, 8, 1)
+	out := Sharpen(im, 0)
+	d, err := MeanAbsDiff(im, out)
+	if err != nil || d > 1e-12 {
+		t.Fatalf("Sharpen(0) changed the image: %v %v", d, err)
+	}
+}
+
+func TestSharpenIncreasesEdgeContrast(t *testing.T) {
+	// Vertical step edge.
+	im := New(8, 8, 1)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			im.Set(0, x, y, 1)
+		}
+	}
+	out := Sharpen(im, 1)
+	// The pixel just left of the edge darkens; just right brightens (both
+	// clamped to [0,1] here, so compare the inner gradient instead).
+	if out.At(0, 3, 4) > im.At(0, 3, 4) {
+		t.Fatalf("left-of-edge pixel brightened: %v", out.At(0, 3, 4))
+	}
+}
+
+func TestBoxBlurFlattens(t *testing.T) {
+	im := New(9, 9, 1)
+	im.Set(0, 4, 4, 1) // single bright pixel
+	out := BoxBlur(im, 2)
+	if out.At(0, 4, 4) >= 1 {
+		t.Fatal("blur did not spread the impulse")
+	}
+	if out.At(0, 3, 4) <= 0 {
+		t.Fatal("blur did not reach neighbors")
+	}
+	// Blur preserves total mass away from borders (impulse is interior).
+	var sum float64
+	for _, v := range out.Pix {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("blur mass = %v, want 1", sum)
+	}
+	if got := BoxBlur(im, 0); got == im {
+		t.Fatal("BoxBlur(0) returned the receiver")
+	}
+}
+
+func TestAdjustBrightnessContrastGamma(t *testing.T) {
+	im := New(2, 1, 1)
+	im.Pix = []float64{0.25, 0.75}
+	br := AdjustBrightness(im, 0.5)
+	if br.Pix[0] != 0.75 || br.Pix[1] != 1 {
+		t.Fatalf("brightness: %v", br.Pix)
+	}
+	ct := AdjustContrast(im, 2)
+	if ct.Pix[0] != 0 || ct.Pix[1] != 1 {
+		t.Fatalf("contrast: %v", ct.Pix)
+	}
+	if id := AdjustContrast(im, 1); id.Pix[0] != 0.25 {
+		t.Fatalf("contrast identity: %v", id.Pix)
+	}
+	gm := AdjustGamma(im, 2)
+	if math.Abs(gm.Pix[0]-0.5) > 1e-12 { // 0.25^(1/2)
+		t.Fatalf("gamma: %v", gm.Pix)
+	}
+}
+
+func TestColorReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	im := randomImage(rng, 16, 16, 3)
+	out, palette, err := ColorReduce(im, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(palette) > 8 || len(palette) == 0 {
+		t.Fatalf("palette size %d", len(palette))
+	}
+	// Every output pixel is exactly a palette color.
+	onPalette := func(p [3]float64) bool {
+		for _, pc := range palette {
+			if p == pc {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < im.W*im.H; i++ {
+		p := [3]float64{out.Plane(0)[i], out.Plane(1)[i], out.Plane(2)[i]}
+		if !onPalette(p) {
+			t.Fatalf("pixel %d not on palette: %v", i, p)
+		}
+	}
+	// More colors means higher fidelity.
+	out2, _, err := ColorReduce(im, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, _ := PSNR(im, out)
+	p64, _ := PSNR(im, out2)
+	if p64 <= p8 {
+		t.Fatalf("PSNR did not improve with palette size: %v vs %v", p8, p64)
+	}
+}
+
+func TestColorReduceDegenerate(t *testing.T) {
+	im := New(4, 4, 3)
+	im.FillRGB(0.3, 0.6, 0.9)
+	out, palette, err := ColorReduce(im, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(palette) != 1 {
+		t.Fatalf("solid image palette size %d", len(palette))
+	}
+	d, _ := MeanAbsDiff(im, out)
+	if d > 1e-12 { // palette averaging is float arithmetic, not bit-exact
+		t.Fatalf("solid image changed by quantization: %v", d)
+	}
+	if _, _, err := ColorReduce(New(2, 2, 1), 4); err == nil {
+		t.Error("accepted 1-channel image")
+	}
+	if _, _, err := ColorReduce(im, 0); err == nil {
+		t.Error("accepted 0 colors")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := New(2, 2, 1)
+	b := a.Clone()
+	p, err := PSNR(a, b)
+	if err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("identical PSNR = %v, %v", p, err)
+	}
+	b.Pix[0] = 1
+	p, err = PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSE = 1/4 -> PSNR = 10*log10(4) ≈ 6.02 dB.
+	if math.Abs(p-10*math.Log10(4)) > 1e-9 {
+		t.Fatalf("PSNR = %v", p)
+	}
+	if _, err := PSNR(a, New(3, 2, 1)); err == nil {
+		t.Error("accepted shape mismatch")
+	}
+}
+
+func TestSSIM(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	im := randomImage(rng, 32, 32, 3)
+	// Identical images score 1.
+	s, err := SSIM(im, im.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("self SSIM = %v", s)
+	}
+	// Mild noise degrades SSIM less than heavy noise.
+	mild, _ := SSIM(im, AddNoise(im, rng, 0.05))
+	heavy, _ := SSIM(im, AddNoise(im, rng, 0.4))
+	if !(mild > heavy) {
+		t.Fatalf("SSIM ordering: mild %v, heavy %v", mild, heavy)
+	}
+	if mild >= 1 || heavy <= -1 {
+		t.Fatalf("SSIM out of range: %v %v", mild, heavy)
+	}
+	// Structured change (blur) hurts more than the same-energy brightness
+	// shift, which SSIM is designed to discount relative to MSE.
+	shifted, _ := SSIM(im, AdjustBrightness(im, 0.05))
+	blurred, _ := SSIM(im, BoxBlur(im, 3))
+	if !(shifted > blurred) {
+		t.Fatalf("brightness shift (%v) should score above blur (%v)", shifted, blurred)
+	}
+	if _, err := SSIM(im, randomImage(rng, 16, 16, 3)); err == nil {
+		t.Error("SSIM accepted shape mismatch")
+	}
+	if _, err := SSIM(New(4, 4, 1), New(4, 4, 1)); err == nil {
+		t.Error("SSIM accepted tiny images")
+	}
+}

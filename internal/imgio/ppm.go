@@ -1,0 +1,165 @@
+package imgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EncodePPM writes a 3-channel image as a binary PPM (P6) with 8-bit
+// samples, or a 1-channel image as a binary PGM (P5).
+func EncodePPM(w io.Writer, im *Image) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var magic string
+	switch im.C {
+	case 1:
+		magic = "P5"
+	case 3:
+		magic = "P6"
+	default:
+		return fmt.Errorf("imgio: cannot encode %d-channel image as PPM/PGM", im.C)
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n255\n", magic, im.W, im.H); err != nil {
+		return err
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			for c := 0; c < im.C; c++ {
+				v := clamp01(im.At(c, x, y))
+				if err := bw.WriteByte(byte(v*255 + 0.5)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePPM reads a binary or ASCII PPM/PGM (P2/P3/P5/P6) image.
+func DecodePPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := ppmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("imgio: reading PPM magic: %w", err)
+	}
+	var channels int
+	var ascii bool
+	switch magic {
+	case "P2":
+		channels, ascii = 1, true
+	case "P3":
+		channels, ascii = 3, true
+	case "P5":
+		channels = 1
+	case "P6":
+		channels = 3
+	default:
+		return nil, fmt.Errorf("imgio: unsupported PPM magic %q", magic)
+	}
+	w, err := ppmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ppmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxVal, err := ppmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("imgio: unreasonable PPM dimensions %dx%d", w, h)
+	}
+	if maxVal <= 0 || maxVal > 65535 {
+		return nil, fmt.Errorf("imgio: unsupported PPM max value %d", maxVal)
+	}
+	im := New(w, h, channels)
+	scale := 1 / float64(maxVal)
+	if ascii {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				for c := 0; c < channels; c++ {
+					v, err := ppmInt(br)
+					if err != nil {
+						return nil, err
+					}
+					im.Set(c, x, y, float64(v)*scale)
+				}
+			}
+		}
+		return im, nil
+	}
+	// Binary formats: exactly one whitespace byte follows the max value
+	// (already consumed by ppmInt's delimiter read).
+	bytesPer := 1
+	if maxVal > 255 {
+		bytesPer = 2
+	}
+	buf := make([]byte, w*channels*bytesPer)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("imgio: reading PPM row %d: %w", y, err)
+		}
+		for x := 0; x < w; x++ {
+			for c := 0; c < channels; c++ {
+				i := (x*channels + c) * bytesPer
+				var v int
+				if bytesPer == 1 {
+					v = int(buf[i])
+				} else {
+					v = int(buf[i])<<8 | int(buf[i+1])
+				}
+				im.Set(c, x, y, float64(v)*scale)
+			}
+		}
+	}
+	return im, nil
+}
+
+// ppmToken reads the next whitespace-delimited token, skipping comments.
+func ppmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func ppmInt(br *bufio.Reader) (int, error) {
+	tok, err := ppmToken(br)
+	if err != nil {
+		return 0, fmt.Errorf("imgio: reading PPM header: %w", err)
+	}
+	n := 0
+	for _, ch := range tok {
+		if ch < '0' || ch > '9' {
+			return 0, fmt.Errorf("imgio: invalid PPM integer %q", tok)
+		}
+		n = n*10 + int(ch-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("imgio: PPM integer %q too large", tok)
+		}
+	}
+	return n, nil
+}

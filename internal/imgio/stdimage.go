@@ -1,0 +1,46 @@
+package imgio
+
+import (
+	"image"
+	"image/color"
+)
+
+// FromStdImage converts any standard library image to a 3-channel RGB
+// Image with samples in [0,1].
+func FromStdImage(src image.Image) *Image {
+	b := src.Bounds()
+	im := New(b.Dx(), b.Dy(), 3)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, bl, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			im.Set(0, x, y, float64(r)/65535)
+			im.Set(1, x, y, float64(g)/65535)
+			im.Set(2, x, y, float64(bl)/65535)
+		}
+	}
+	return im
+}
+
+// ToStdImage converts an Image (1 or 3 channels, assumed RGB or gray in
+// [0,1]) to an *image.RGBA suitable for the standard encoders.
+func ToStdImage(im *Image) *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			var r, g, b float64
+			if im.C >= 3 {
+				r, g, b = im.At(0, x, y), im.At(1, x, y), im.At(2, x, y)
+			} else {
+				r = im.At(0, x, y)
+				g, b = r, r
+			}
+			out.SetRGBA(x, y, color.RGBA{
+				R: byte(clamp01(r)*255 + 0.5),
+				G: byte(clamp01(g)*255 + 0.5),
+				B: byte(clamp01(b)*255 + 0.5),
+				A: 255,
+			})
+		}
+	}
+	return out
+}

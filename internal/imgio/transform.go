@@ -1,0 +1,206 @@
+package imgio
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Resize scales an image to w×h using box averaging when shrinking and
+// bilinear interpolation when growing. These are the operations the paper
+// relied on ImageMagick for.
+func Resize(im *Image, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imgio: invalid resize target %dx%d", w, h)
+	}
+	out := New(w, h, im.C)
+	for c := 0; c < im.C; c++ {
+		src := im.Plane(c)
+		dst := out.Plane(c)
+		for y := 0; y < h; y++ {
+			// Source row span covered by destination row y.
+			sy0 := float64(y) * float64(im.H) / float64(h)
+			sy1 := float64(y+1) * float64(im.H) / float64(h)
+			for x := 0; x < w; x++ {
+				sx0 := float64(x) * float64(im.W) / float64(w)
+				sx1 := float64(x+1) * float64(im.W) / float64(w)
+				dst[y*w+x] = boxSample(src, im.W, im.H, sx0, sy0, sx1, sy1)
+			}
+		}
+	}
+	return out, nil
+}
+
+// boxSample averages src over the (possibly fractional) box
+// [x0,x1)×[y0,y1). When the box is smaller than a pixel this degenerates to
+// nearest sampling, which is adequate for upscaling synthetic scenes.
+func boxSample(src []float64, w, h int, x0, y0, x1, y1 float64) float64 {
+	ix0, iy0 := int(x0), int(y0)
+	ix1, iy1 := int(x1), int(y1)
+	if ix1 <= ix0 {
+		ix1 = ix0 + 1
+	}
+	if iy1 <= iy0 {
+		iy1 = iy0 + 1
+	}
+	if ix1 > w {
+		ix1 = w
+	}
+	if iy1 > h {
+		iy1 = h
+	}
+	if ix0 >= w {
+		ix0 = w - 1
+	}
+	if iy0 >= h {
+		iy0 = h - 1
+	}
+	sum := 0.0
+	n := 0
+	for y := iy0; y < iy1; y++ {
+		for x := ix0; x < ix1; x++ {
+			sum += src[y*w+x]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Crop extracts the rectangle with top-left (x, y) and size w×h.
+func Crop(im *Image, x, y, w, h int) (*Image, error) {
+	if x < 0 || y < 0 || w <= 0 || h <= 0 || x+w > im.W || y+h > im.H {
+		return nil, fmt.Errorf("imgio: crop %dx%d at (%d,%d) out of bounds for %dx%d image", w, h, x, y, im.W, im.H)
+	}
+	out := New(w, h, im.C)
+	for c := 0; c < im.C; c++ {
+		src := im.Plane(c)
+		dst := out.Plane(c)
+		for r := 0; r < h; r++ {
+			copy(dst[r*w:(r+1)*w], src[(y+r)*im.W+x:(y+r)*im.W+x+w])
+		}
+	}
+	return out, nil
+}
+
+// Translate shifts the image content by (dx, dy), filling vacated pixels
+// with fill.
+func Translate(im *Image, dx, dy int, fill float64) *Image {
+	out := New(im.W, im.H, im.C)
+	for i := range out.Pix {
+		out.Pix[i] = fill
+	}
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			ny := y + dy
+			if ny < 0 || ny >= im.H {
+				continue
+			}
+			for x := 0; x < im.W; x++ {
+				nx := x + dx
+				if nx < 0 || nx >= im.W {
+					continue
+				}
+				out.Set(c, nx, ny, im.At(c, x, y))
+			}
+		}
+	}
+	return out
+}
+
+// FlipH mirrors the image horizontally.
+func FlipH(im *Image) *Image {
+	out := New(im.W, im.H, im.C)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				out.Set(c, im.W-1-x, y, im.At(c, x, y))
+			}
+		}
+	}
+	return out
+}
+
+// ColorShift adds a per-channel offset, clamping to [0,1]. Wavelet-based
+// signatures are designed to be robust to such intensity shifts.
+func ColorShift(im *Image, offsets ...float64) *Image {
+	out := im.Clone()
+	for c := 0; c < im.C && c < len(offsets); c++ {
+		p := out.Plane(c)
+		for i := range p {
+			p[i] = clamp01(p[i] + offsets[c])
+		}
+	}
+	return out
+}
+
+// AddNoise perturbs every sample by uniform noise in [-amp, amp], clamping
+// to [0,1]. rng must not be nil.
+func AddNoise(im *Image, rng *rand.Rand, amp float64) *Image {
+	out := im.Clone()
+	for i := range out.Pix {
+		out.Pix[i] = clamp01(out.Pix[i] + (rng.Float64()*2-1)*amp)
+	}
+	return out
+}
+
+// Dither quantizes each channel to the given number of levels with
+// Floyd-Steinberg error diffusion, simulating the dithering effects the
+// paper lists among the robustness requirements.
+func Dither(im *Image, levels int) *Image {
+	if levels < 2 {
+		levels = 2
+	}
+	out := im.Clone()
+	q := float64(levels - 1)
+	for c := 0; c < im.C; c++ {
+		p := out.Plane(c)
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				i := y*im.W + x
+				old := p[i]
+				quantized := float64(int(clamp01(old)*q+0.5)) / q
+				p[i] = quantized
+				errv := old - quantized
+				if x+1 < im.W {
+					p[i+1] += errv * 7 / 16
+				}
+				if y+1 < im.H {
+					if x > 0 {
+						p[i+im.W-1] += errv * 3 / 16
+					}
+					p[i+im.W] += errv * 5 / 16
+					if x+1 < im.W {
+						p[i+im.W+1] += errv * 1 / 16
+					}
+				}
+			}
+		}
+	}
+	return out.Clamp()
+}
+
+// Paste copies src onto dst with its top-left corner at (x, y), clipping at
+// the destination boundary. Channel counts must match.
+func Paste(dst, src *Image, x, y int) error {
+	if dst.C != src.C {
+		return fmt.Errorf("imgio: paste channel mismatch %d vs %d", dst.C, src.C)
+	}
+	for c := 0; c < src.C; c++ {
+		for sy := 0; sy < src.H; sy++ {
+			dy := y + sy
+			if dy < 0 || dy >= dst.H {
+				continue
+			}
+			for sx := 0; sx < src.W; sx++ {
+				dx := x + sx
+				if dx < 0 || dx >= dst.W {
+					continue
+				}
+				dst.Set(c, dx, dy, src.At(c, sx, sy))
+			}
+		}
+	}
+	return nil
+}

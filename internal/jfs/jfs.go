@@ -1,0 +1,218 @@
+// Package jfs reimplements the "fast multiresolution image querying"
+// scheme of Jacobs, Finkelstein and Salesin (SIGGRAPH 1995), the earliest
+// wavelet baseline discussed in the WALRUS paper (Section 2). Each image is
+// rescaled to 128×128, Haar-transformed per channel, and truncated to the
+// m largest-magnitude coefficients, which are quantized to their sign only.
+// Query scoring follows the paper's weighted bitmap metric: a penalty for
+// the difference of overall averages minus a bin-weighted bonus for every
+// truncated coefficient the query and target share with equal sign.
+//
+// Like WBIIS this computes a single whole-image signature, so it breaks
+// down under object translation and scaling.
+package jfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"walrus/internal/colorspace"
+	"walrus/internal/imgio"
+	"walrus/internal/wavelet"
+)
+
+const side = 128
+
+// Weights are the per-channel bin weights of the JFS paper (their Table 1,
+// scanned-query column, YIQ space): bin(i,j) = min(max(i,j),5).
+var defaultWeights = [3][6]float64{
+	{5.00, 0.83, 1.01, 0.52, 0.47, 0.30},
+	{19.21, 1.26, 0.44, 0.53, 0.28, 0.14},
+	{34.37, 0.36, 0.45, 0.14, 0.18, 0.27},
+}
+
+// Options configures a JFS index.
+type Options struct {
+	// Space is the color space (the JFS paper found YIQ best).
+	Space colorspace.Space
+	// Keep is m, the number of largest-magnitude coefficients retained per
+	// channel (the paper used 40-60).
+	Keep int
+}
+
+// DefaultOptions mirrors the JFS paper's setup.
+func DefaultOptions() Options {
+	return Options{Space: colorspace.YIQ, Keep: 60}
+}
+
+// coeffKey addresses one wavelet coefficient.
+type coeffKey struct{ R, C int }
+
+// signature is one image's truncated, quantized transform.
+type signature struct {
+	id  string
+	avg [3]float64               // overall averages per channel
+	pos [3]map[coeffKey]struct{} // coefficients quantized to +1
+	neg [3]map[coeffKey]struct{} // coefficients quantized to -1
+}
+
+// Match is one query result; lower score is better.
+type Match struct {
+	ID    string
+	Score float64
+}
+
+// Index is an in-memory JFS index, safe for concurrent use.
+type Index struct {
+	opts Options
+	mu   sync.RWMutex
+	sigs []signature
+}
+
+// New creates an empty index.
+func New(opts Options) (*Index, error) {
+	if opts.Keep < 1 || opts.Keep > side*side {
+		return nil, fmt.Errorf("jfs: Keep %d out of range", opts.Keep)
+	}
+	return &Index{opts: opts}, nil
+}
+
+// Len returns the number of indexed images.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.sigs)
+}
+
+// Add indexes an RGB image under id.
+func (ix *Index) Add(id string, im *imgio.Image) error {
+	sig, err := ix.signatureOf(id, im)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	ix.sigs = append(ix.sigs, sig)
+	ix.mu.Unlock()
+	return nil
+}
+
+func (ix *Index) signatureOf(id string, im *imgio.Image) (signature, error) {
+	if im.C != 3 {
+		return signature{}, fmt.Errorf("jfs: image %q has %d channels, want 3", id, im.C)
+	}
+	scaled, err := imgio.Resize(im, side, side)
+	if err != nil {
+		return signature{}, err
+	}
+	conv, err := colorspace.FromRGB(scaled, ix.opts.Space)
+	if err != nil {
+		return signature{}, err
+	}
+	sig := signature{id: id}
+	for c := 0; c < 3; c++ {
+		plane := wavelet.Matrix{Rows: side, Cols: side, Data: conv.Plane(c)}
+		t, err := wavelet.Transform2D(plane)
+		if err != nil {
+			return signature{}, err
+		}
+		wavelet.Normalize2D(t)
+		sig.avg[c] = t.At(0, 0)
+		// Rank all non-average coefficients by magnitude, keep the top m.
+		type mc struct {
+			key coeffKey
+			mag float64
+			neg bool
+		}
+		all := make([]mc, 0, side*side-1)
+		for r := 0; r < side; r++ {
+			for col := 0; col < side; col++ {
+				if r == 0 && col == 0 {
+					continue
+				}
+				v := t.At(r, col)
+				all = append(all, mc{coeffKey{r, col}, math.Abs(v), v < 0})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].mag > all[j].mag })
+		sig.pos[c] = make(map[coeffKey]struct{})
+		sig.neg[c] = make(map[coeffKey]struct{})
+		for i := 0; i < ix.opts.Keep && i < len(all); i++ {
+			if all[i].mag == 0 {
+				break
+			}
+			if all[i].neg {
+				sig.neg[c][all[i].key] = struct{}{}
+			} else {
+				sig.pos[c][all[i].key] = struct{}{}
+			}
+		}
+	}
+	return sig, nil
+}
+
+// bin maps a coefficient position to its weight bin.
+func bin(k coeffKey) int {
+	b := k.R
+	if k.C > b {
+		b = k.C
+	}
+	// Positions are spatial indexes; the JFS bins are log-scale levels.
+	level := 0
+	for b > 1 {
+		b >>= 1
+		level++
+	}
+	if level > 5 {
+		level = 5
+	}
+	return level
+}
+
+// score computes the JFS query metric between a query and a target
+// signature (lower is more similar).
+func (ix *Index) score(q, t *signature) float64 {
+	total := 0.0
+	for c := 0; c < 3; c++ {
+		w := defaultWeights[c]
+		total += w[0] * math.Abs(q.avg[c]-t.avg[c])
+		for key := range q.pos[c] {
+			if _, ok := t.pos[c][key]; ok {
+				total -= w[bin(key)]
+			}
+		}
+		for key := range q.neg[c] {
+			if _, ok := t.neg[c][key]; ok {
+				total -= w[bin(key)]
+			}
+		}
+	}
+	return total
+}
+
+// Query returns the k indexed images with the best (lowest) JFS scores.
+func (ix *Index) Query(im *imgio.Image, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	q, err := ix.signatureOf("", im)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Match, len(ix.sigs))
+	for i := range ix.sigs {
+		out[i] = Match{ID: ix.sigs[i].id, Score: ix.score(&q, &ix.sigs[i])}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

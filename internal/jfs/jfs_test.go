@@ -1,0 +1,116 @@
+package jfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"walrus/internal/imgio"
+)
+
+func patterned(seed int64) *imgio.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := imgio.New(128, 96, 3)
+	// Blocky random pattern gives the transform distinct large
+	// coefficients.
+	for by := 0; by < 6; by++ {
+		for bx := 0; bx < 8; bx++ {
+			r, g, b := rng.Float64(), rng.Float64(), rng.Float64()
+			for y := by * 16; y < (by+1)*16 && y < im.H; y++ {
+				for x := bx * 16; x < (bx+1)*16 && x < im.W; x++ {
+					im.SetRGB(x, y, r, g, b)
+				}
+			}
+		}
+	}
+	return im
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Keep: 0}); err == nil {
+		t.Error("accepted Keep 0")
+	}
+	if _, err := New(Options{Keep: 1 << 20}); err == nil {
+		t.Error("accepted huge Keep")
+	}
+}
+
+func TestSelfQueryRanksFirst(t *testing.T) {
+	ix, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := ix.Add(string(rune('a'+i)), patterned(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for i := int64(0); i < 5; i++ {
+		matches, err := ix.Query(patterned(i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matches[0].ID != string(rune('a'+i)) {
+			t.Fatalf("query %d: best %+v", i, matches[0])
+		}
+		// The self match must be strictly better than the runner-up.
+		if len(matches) > 1 && matches[0].Score >= matches[1].Score {
+			t.Fatalf("query %d: no separation: %+v", i, matches[:2])
+		}
+	}
+}
+
+func TestSignatureSparsity(t *testing.T) {
+	ix, err := New(Options{Keep: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := ix.signatureOf("x", patterned(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		kept := len(sig.pos[c]) + len(sig.neg[c])
+		if kept > 40 {
+			t.Fatalf("channel %d kept %d coefficients, cap 40", c, kept)
+		}
+		if kept == 0 {
+			t.Fatalf("channel %d kept nothing", c)
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	ix, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ix.Query(patterned(1), 0); err != nil || m != nil {
+		t.Fatalf("k=0: %v %v", m, err)
+	}
+	if err := ix.Add("bad", imgio.New(32, 32, 1)); err == nil {
+		t.Error("Add accepted 1-channel image")
+	}
+}
+
+func TestBinLevels(t *testing.T) {
+	cases := []struct {
+		key  coeffKey
+		want int
+	}{
+		{coeffKey{0, 1}, 0},
+		{coeffKey{1, 1}, 0},
+		{coeffKey{2, 0}, 1},
+		{coeffKey{3, 3}, 1},
+		{coeffKey{4, 0}, 2},
+		{coeffKey{16, 5}, 4},
+		{coeffKey{127, 127}, 5},
+	}
+	for _, c := range cases {
+		if got := bin(c.key); got != c.want {
+			t.Errorf("bin(%v) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"walrus/internal/region"
+)
+
+func TestHungarianSmallMatrices(t *testing.T) {
+	// 2x2: optimal assignment is the anti-diagonal.
+	cost := [][]float64{
+		{10, 1},
+		{1, 10},
+	}
+	got := hungarian(cost)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("hungarian = %v, want [1 0]", got)
+	}
+	// Rectangular 2x3.
+	cost = [][]float64{
+		{5, 2, 9},
+		{2, 7, 1},
+	}
+	got = hungarian(cost)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("hungarian = %v, want [1 2]", got)
+	}
+	if hungarian(nil) != nil {
+		t.Fatal("empty matrix")
+	}
+}
+
+// TestHungarianMatchesBruteForce compares against exhaustive search on
+// random square matrices.
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		assigned := hungarian(cost)
+		got := 0.0
+		for i, j := range assigned {
+			got += cost[i][j]
+		}
+		// Brute force over permutations.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := math.Inf(1)
+		var recurse func(k int)
+		recurse = func(k int) {
+			if k == n {
+				total := 0.0
+				for i, j := range perm {
+					total += cost[i][j]
+				}
+				if total < best {
+					best = total
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				recurse(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		recurse(0)
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssignmentMatchesExactOnDisjointRegions: with disjoint regions the
+// no-overlap relaxation is exact.
+func TestAssignmentMatchesExactOnDisjointRegions(t *testing.T) {
+	var q, tr []region.Region
+	var pairs []Pair
+	for i := 0; i < 4; i++ {
+		q = append(q, makeRegion(4, []float64{float64(i)}, block(i, 0, i+1, 4)))
+		tr = append(tr, makeRegion(4, []float64{float64(i)}, block(i, 0, i+1, 4)))
+	}
+	// All-pairs bait: region i of q may pair with any region of t.
+	for qi := 0; qi < 4; qi++ {
+		for ti := 0; ti < 4; ti++ {
+			pairs = append(pairs, Pair{qi, ti})
+		}
+	}
+	exact, err := Score(q, tr, pairs, 100, 100, Options{Algorithm: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn, err := Score(q, tr, pairs, 100, 100, Options{Algorithm: Assignment})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Similarity-asn.Similarity) > 1e-12 {
+		t.Fatalf("assignment %v != exact %v on disjoint regions", asn.Similarity, exact.Similarity)
+	}
+	if asn.Similarity != 1 {
+		t.Fatalf("similarity = %v, want 1", asn.Similarity)
+	}
+	if len(asn.Pairs) != 4 {
+		t.Fatalf("assignment used %d pairs", len(asn.Pairs))
+	}
+}
+
+// TestAssignmentOneToOne: no region appears twice in the pair set.
+func TestAssignmentOneToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const k = 4
+		nq, nt := 1+rng.Intn(5), 1+rng.Intn(5)
+		mk := func() region.Region {
+			var cells [][2]int
+			for y := 0; y < k; y++ {
+				for x := 0; x < k; x++ {
+					if rng.Intn(3) == 0 {
+						cells = append(cells, [2]int{x, y})
+					}
+				}
+			}
+			return makeRegion(k, []float64{rng.Float64()}, cells)
+		}
+		var q, tr []region.Region
+		for i := 0; i < nq; i++ {
+			q = append(q, mk())
+		}
+		for i := 0; i < nt; i++ {
+			tr = append(tr, mk())
+		}
+		var pairs []Pair
+		for qi := 0; qi < nq; qi++ {
+			for ti := 0; ti < nt; ti++ {
+				if rng.Intn(2) == 0 {
+					pairs = append(pairs, Pair{qi, ti})
+				}
+			}
+		}
+		res, err := Score(q, tr, pairs, 100, 100, Options{Algorithm: Assignment})
+		if err != nil {
+			return false
+		}
+		seenQ := map[int]bool{}
+		seenT := map[int]bool{}
+		for _, p := range res.Pairs {
+			if seenQ[p.Q] || seenT[p.T] {
+				return false
+			}
+			seenQ[p.Q] = true
+			seenT[p.T] = true
+		}
+		// Exact dominates any one-to-one set.
+		exact, err := Score(q, tr, pairs, 100, 100, Options{Algorithm: Exact})
+		if err != nil {
+			return false
+		}
+		return exact.Similarity >= res.Similarity-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	if Assignment.String() != "assignment" {
+		t.Fatal("Algorithm string")
+	}
+}
+
+func TestAssignmentEmptyPairs(t *testing.T) {
+	res, err := Score(nil, nil, nil, 10, 10, Options{Algorithm: Assignment})
+	if err != nil || res.Similarity != 0 {
+		t.Fatalf("empty: %+v, %v", res, err)
+	}
+}

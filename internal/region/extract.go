@@ -1,0 +1,289 @@
+package region
+
+import (
+	"fmt"
+	"sync"
+
+	"walrus/internal/birch"
+	"walrus/internal/colorspace"
+	"walrus/internal/imgio"
+	"walrus/internal/wavelet"
+)
+
+// Options configures region extraction. The defaults (DefaultOptions)
+// reproduce the parameters of the paper's retrieval experiments
+// (Section 6.4): 64×64 sliding windows, 2×2 signatures per color channel
+// (12 dimensions in a 3-channel space), εc = 0.05 and a 16×16 bitmap.
+type Options struct {
+	// MaxWindow is the largest sliding window side ωmax (power of two).
+	MaxWindow int
+	// MinWindow is the smallest window side ωmin (power of two,
+	// <= MaxWindow). The paper's retrieval experiments used a single fixed
+	// size, MinWindow == MaxWindow == 64.
+	MinWindow int
+	// Signature is s; each window contributes an s×s low band per channel.
+	Signature int
+	// Step is the sliding distance t between adjacent windows.
+	Step int
+	// ClusterEps is εc, the BIRCH radius threshold.
+	ClusterEps float64
+	// BitmapGrid is k, the side of the coarse coverage bitmap.
+	BitmapGrid int
+	// Space is the color space signatures are computed in.
+	Space colorspace.Space
+	// MaxRegions caps the number of regions per image (0 = unlimited); the
+	// CF-tree is rebuilt with doubled thresholds until it fits.
+	MaxRegions int
+	// MergeRegions runs an agglomerative repair pass after BIRCH
+	// pre-clustering, merging clusters whose union still fits within
+	// ClusterEps. This removes insertion-order artifacts at a small O(k²)
+	// cost per image.
+	MergeRegions bool
+	// RefineIterations, when positive, runs up to that many rounds of
+	// centroid refinement (BIRCH's optional phase 4) after pre-clustering,
+	// reassigning every window to its nearest cluster centroid. This
+	// removes insertion-order sensitivity at the cost of extra passes.
+	RefineIterations int
+	// FineSignature, when nonzero, additionally stores a finer
+	// FineSignature×FineSignature low band per channel with every region,
+	// enabling the refined matching phase of Section 5.5 (re-verifying
+	// candidate region pairs with more detailed signatures). Must be a
+	// power of two in (Signature, MinWindow].
+	FineSignature int
+}
+
+// DefaultOptions returns the paper's retrieval parameters.
+func DefaultOptions() Options {
+	return Options{
+		MaxWindow:  64,
+		MinWindow:  64,
+		Signature:  2,
+		Step:       8,
+		ClusterEps: 0.05,
+		BitmapGrid: 16,
+		Space:      colorspace.YCC,
+	}
+}
+
+// Validate checks option consistency.
+func (o Options) Validate() error {
+	p := wavelet.SlidingParams{MaxWindow: o.MaxWindow, Signature: o.Signature, Step: o.Step}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if o.MinWindow < 2 || o.MinWindow > o.MaxWindow || o.MinWindow&(o.MinWindow-1) != 0 {
+		return fmt.Errorf("region: MinWindow %d must be a power of two in [2, MaxWindow]", o.MinWindow)
+	}
+	if o.ClusterEps < 0 {
+		return fmt.Errorf("region: negative ClusterEps %v", o.ClusterEps)
+	}
+	if o.BitmapGrid < 1 || o.BitmapGrid > 256 {
+		return fmt.Errorf("region: BitmapGrid %d out of range [1,256]", o.BitmapGrid)
+	}
+	if o.MaxRegions < 0 {
+		return fmt.Errorf("region: negative MaxRegions %d", o.MaxRegions)
+	}
+	if o.RefineIterations < 0 {
+		return fmt.Errorf("region: negative RefineIterations %d", o.RefineIterations)
+	}
+	if o.FineSignature != 0 {
+		if o.FineSignature <= o.Signature || o.FineSignature > o.MinWindow || o.FineSignature&(o.FineSignature-1) != 0 {
+			return fmt.Errorf("region: FineSignature %d must be a power of two in (Signature=%d, MinWindow=%d]",
+				o.FineSignature, o.Signature, o.MinWindow)
+		}
+	}
+	return nil
+}
+
+// Dim returns the signature dimensionality: channels × s².
+func (o Options) Dim() int {
+	return o.Space.Channels() * o.Signature * o.Signature
+}
+
+// Region is one extracted image region: a cluster of sliding windows with
+// similar wavelet signatures.
+type Region struct {
+	// Signature is the cluster centroid in signature space (length
+	// Options.Dim()).
+	Signature []float64
+	// Min and Max bound the member window signatures elementwise — the
+	// alternative bounding-box region signature of Section 4.
+	Min, Max []float64
+	// Bitmap marks the image cells covered by the cluster's windows.
+	Bitmap Bitmap
+	// Windows is the number of sliding windows in the cluster.
+	Windows int
+	// Fine is the centroid of the members' finer signatures (length
+	// channels × FineSignature²); nil unless Options.FineSignature is set.
+	// It backs the refined matching phase of Section 5.5.
+	Fine []float64
+}
+
+// windowRef records the geometry of one sliding window.
+type windowRef struct {
+	x, y, size int
+}
+
+// Extractor turns images into region sets. It is stateless apart from the
+// options and safe for concurrent use.
+type Extractor struct {
+	opts Options
+}
+
+// NewExtractor validates opts and returns an Extractor.
+func NewExtractor(opts Options) (*Extractor, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Extractor{opts: opts}, nil
+}
+
+// Options returns the extractor's configuration.
+func (e *Extractor) Options() Options { return e.opts }
+
+// Extract decomposes an RGB image into regions. Images smaller than
+// MinWindow in either dimension yield an error.
+func (e *Extractor) Extract(im *imgio.Image) ([]Region, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	if im.C != 3 {
+		return nil, fmt.Errorf("region: Extract requires a 3-channel RGB image, got %d channels", im.C)
+	}
+	if im.W < e.opts.MinWindow || im.H < e.opts.MinWindow {
+		return nil, fmt.Errorf("region: image %dx%d smaller than minimum window %d", im.W, im.H, e.opts.MinWindow)
+	}
+	conv, err := colorspace.FromRGB(im, e.opts.Space)
+	if err != nil {
+		return nil, err
+	}
+
+	points, fines, refs, err := e.windowSignatures(conv)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("region: image %dx%d produced no windows", im.W, im.H)
+	}
+	clusters, err := birch.ClusterPoints(points, e.opts.ClusterEps, e.opts.MaxRegions)
+	if err != nil {
+		return nil, err
+	}
+	if e.opts.MergeRegions {
+		clusters = birch.MergeClusters(clusters, e.opts.ClusterEps)
+	}
+	if e.opts.RefineIterations > 0 {
+		clusters = birch.RefineClusters(points, clusters, e.opts.RefineIterations)
+	}
+
+	regions := make([]Region, 0, len(clusters))
+	for _, c := range clusters {
+		r := Region{
+			Signature: c.Centroid,
+			Min:       c.Min,
+			Max:       c.Max,
+			Bitmap:    NewBitmap(e.opts.BitmapGrid),
+			Windows:   len(c.Members),
+		}
+		for _, m := range c.Members {
+			w := refs[m]
+			r.Bitmap.CoverWindow(w.x, w.y, w.size, w.size, im.W, im.H)
+		}
+		if fines != nil {
+			r.Fine = make([]float64, len(fines[0]))
+			for _, m := range c.Members {
+				for i, v := range fines[m] {
+					r.Fine[i] += v
+				}
+			}
+			for i := range r.Fine {
+				r.Fine[i] /= float64(len(c.Members))
+			}
+		}
+		regions = append(regions, r)
+	}
+	return regions, nil
+}
+
+// windowSignatures computes the signature point of every sliding window of
+// every configured size, together with the window geometries. Points are
+// the concatenation of the per-channel s×s low bands; when FineSignature
+// is enabled a parallel slice of finer signature vectors is returned (the
+// coarse point is the top-left corner of the fine one, so a single wavelet
+// pass serves both).
+func (e *Extractor) windowSignatures(im *imgio.Image) (points, fines [][]float64, refs []windowRef, err error) {
+	maxWin := e.opts.MaxWindow
+	// Clamp ωmax to the image; Validate already ensured MinWindow fits.
+	for maxWin > im.W || maxWin > im.H {
+		maxWin /= 2
+	}
+	computeSig := e.opts.Signature
+	if e.opts.FineSignature > computeSig {
+		computeSig = e.opts.FineSignature
+	}
+	params := wavelet.SlidingParams{MaxWindow: maxWin, Signature: computeSig, Step: e.opts.Step}
+	// The per-channel pyramids are independent; compute them concurrently.
+	pyramids := make([]*wavelet.Pyramid, im.C)
+	chErrs := make([]error, im.C)
+	var wg sync.WaitGroup
+	for c := 0; c < im.C; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			pyramids[c], chErrs[c] = wavelet.ComputeSlidingWindows(im.Plane(c), im.W, im.H, params)
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range chErrs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	s := e.opts.Signature
+	fs := e.opts.FineSignature
+	for win := e.opts.MinWindow; win <= maxWin; win *= 2 {
+		grid := pyramids[0].Level(win)
+		if grid == nil {
+			continue
+		}
+		sig := grid.Sig
+		for iy := 0; iy < grid.NY; iy++ {
+			for ix := 0; ix < grid.NX; ix++ {
+				x, y := grid.PosOf(ix, iy)
+				p := make([]float64, 0, im.C*s*s)
+				var f []float64
+				if fs > 0 {
+					f = make([]float64, 0, im.C*fs*fs)
+				}
+				for c := 0; c < im.C; c++ {
+					blk := pyramids[c].Level(win).SigAt(ix, iy)
+					p = append(p, cornerBlock(blk, sig, s)...)
+					if fs > 0 {
+						f = append(f, cornerBlock(blk, sig, fs)...)
+					}
+				}
+				points = append(points, p)
+				if fs > 0 {
+					fines = append(fines, f)
+				}
+				refs = append(refs, windowRef{x: x, y: y, size: win})
+			}
+		}
+	}
+	return points, fines, refs, nil
+}
+
+// cornerBlock extracts the top-left want×want corner of a stored have×have
+// signature block into a dense want×want vector. When have < want (a
+// window smaller than the signature) the available coefficients land in
+// the top-left and the rest stay zero, so all points share one
+// dimensionality.
+func cornerBlock(blk []float64, have, want int) []float64 {
+	out := make([]float64, want*want)
+	n := min(have, want)
+	for r := 0; r < n; r++ {
+		copy(out[r*want:r*want+n], blk[r*have:r*have+n])
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package region
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary layout of a serialized Region (little endian):
+//
+//	0:  version byte (1)
+//	1:  bitmap grid side K (uint8)
+//	2:  signature dimensionality (uint16)
+//	4:  fine signature dimensionality (uint16; 0 = none)
+//	6:  window count (uint32)
+//	10: Signature, Min, Max (dim float64s each)
+//	    Fine (fineDim float64s)
+//	    bitmap words (ceil(K*K/64) uint64s)
+const regionMarshalVersion = 1
+
+// MarshalBinary serializes the region for storage in a heap file.
+func (r *Region) MarshalBinary() ([]byte, error) {
+	dim := len(r.Signature)
+	if len(r.Min) != dim || len(r.Max) != dim {
+		return nil, fmt.Errorf("region: inconsistent signature dims %d/%d/%d", dim, len(r.Min), len(r.Max))
+	}
+	if dim > math.MaxUint16 || len(r.Fine) > math.MaxUint16 {
+		return nil, fmt.Errorf("region: dimensions too large to marshal")
+	}
+	if r.Bitmap.K < 1 || r.Bitmap.K > 255 {
+		return nil, fmt.Errorf("region: bitmap grid %d out of range", r.Bitmap.K)
+	}
+	if want := (r.Bitmap.K*r.Bitmap.K + 63) / 64; len(r.Bitmap.Words) != want {
+		return nil, fmt.Errorf("region: bitmap has %d words, want %d", len(r.Bitmap.Words), want)
+	}
+	size := 10 + 8*(3*dim+len(r.Fine)+len(r.Bitmap.Words))
+	buf := make([]byte, size)
+	buf[0] = regionMarshalVersion
+	buf[1] = byte(r.Bitmap.K)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(dim))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(r.Fine)))
+	binary.LittleEndian.PutUint32(buf[6:], uint32(r.Windows))
+	off := 10
+	putFloats := func(v []float64) {
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(x))
+			off += 8
+		}
+	}
+	putFloats(r.Signature)
+	putFloats(r.Min)
+	putFloats(r.Max)
+	putFloats(r.Fine)
+	for _, w := range r.Bitmap.Words {
+		binary.LittleEndian.PutUint64(buf[off:], w)
+		off += 8
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reverses MarshalBinary.
+func (r *Region) UnmarshalBinary(data []byte) error {
+	if len(data) < 10 {
+		return fmt.Errorf("region: record too short (%d bytes)", len(data))
+	}
+	if data[0] != regionMarshalVersion {
+		return fmt.Errorf("region: unsupported record version %d", data[0])
+	}
+	k := int(data[1])
+	dim := int(binary.LittleEndian.Uint16(data[2:]))
+	fineDim := int(binary.LittleEndian.Uint16(data[4:]))
+	windows := int(binary.LittleEndian.Uint32(data[6:]))
+	words := (k*k + 63) / 64
+	want := 10 + 8*(3*dim+fineDim+words)
+	if len(data) != want {
+		return fmt.Errorf("region: record is %d bytes, want %d", len(data), want)
+	}
+	off := 10
+	getFloats := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		return out
+	}
+	r.Signature = getFloats(dim)
+	r.Min = getFloats(dim)
+	r.Max = getFloats(dim)
+	if fineDim > 0 {
+		r.Fine = getFloats(fineDim)
+	} else {
+		r.Fine = nil
+	}
+	r.Bitmap = Bitmap{K: k, Words: make([]uint64, words)}
+	for i := range r.Bitmap.Words {
+		r.Bitmap.Words[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	r.Windows = windows
+	return nil
+}

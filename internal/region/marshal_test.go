@@ -1,0 +1,120 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomRegion(rng *rand.Rand, dim, fineDim, k int) Region {
+	r := Region{
+		Signature: make([]float64, dim),
+		Min:       make([]float64, dim),
+		Max:       make([]float64, dim),
+		Bitmap:    NewBitmap(k),
+		Windows:   rng.Intn(1000),
+	}
+	for i := 0; i < dim; i++ {
+		r.Signature[i] = rng.Float64()
+		r.Min[i] = r.Signature[i] - rng.Float64()*0.1
+		r.Max[i] = r.Signature[i] + rng.Float64()*0.1
+	}
+	if fineDim > 0 {
+		r.Fine = make([]float64, fineDim)
+		for i := range r.Fine {
+			r.Fine[i] = rng.Float64()
+		}
+	}
+	for i := 0; i < k*k/3; i++ {
+		r.Bitmap.Set(rng.Intn(k), rng.Intn(k))
+	}
+	return r
+}
+
+func regionsEqual(a, b *Region) bool {
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(a.Signature, b.Signature) || !eq(a.Min, b.Min) || !eq(a.Max, b.Max) || !eq(a.Fine, b.Fine) {
+		return false
+	}
+	if a.Windows != b.Windows || a.Bitmap.K != b.Bitmap.K {
+		return false
+	}
+	for i := range a.Bitmap.Words {
+		if a.Bitmap.Words[i] != b.Bitmap.Words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegionMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(48)
+		fineDim := 0
+		if rng.Intn(2) == 0 {
+			fineDim = 1 + rng.Intn(192)
+		}
+		k := 1 + rng.Intn(32)
+		r := randomRegion(rng, dim, fineDim, k)
+		data, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Region
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return regionsEqual(&r, &back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionMarshalValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	r := randomRegion(rng, 4, 0, 8)
+	r.Min = r.Min[:2] // inconsistent dims
+	if _, err := r.MarshalBinary(); err == nil {
+		t.Error("marshaled inconsistent region")
+	}
+	r = randomRegion(rng, 4, 0, 8)
+	r.Bitmap.Words = r.Bitmap.Words[:0]
+	if _, err := r.MarshalBinary(); err == nil {
+		t.Error("marshaled region with truncated bitmap")
+	}
+}
+
+func TestRegionUnmarshalValidation(t *testing.T) {
+	var r Region
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Error("unmarshaled empty record")
+	}
+	if err := r.UnmarshalBinary(make([]byte, 10)); err == nil {
+		t.Error("unmarshaled version-0 record")
+	}
+	rng := rand.New(rand.NewSource(91))
+	good := randomRegion(rng, 4, 0, 8)
+	data, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Error("unmarshaled truncated record")
+	}
+	data[0] = 99
+	if err := r.UnmarshalBinary(data); err == nil {
+		t.Error("unmarshaled bad version")
+	}
+}

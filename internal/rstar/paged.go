@@ -1,0 +1,204 @@
+package rstar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"walrus/internal/store"
+)
+
+// Page layout of a serialized node:
+//
+//	offset 0: flags (byte; bit 0 = leaf)
+//	offset 1: entry count (uint16, little endian)
+//	offset 3: reserved byte
+//	offset 4: CRC32 (Castagnoli) of bytes [0,4) and the entry area
+//	offset 8: entries, each 8 bytes (child id or data payload)
+//	          followed by dim float64 mins and dim float64 maxs.
+const (
+	pagedHeader   = 8
+	pagedRefBytes = 8
+	pagedMetaRoot = 0 // pager root slots used for tree metadata
+	pagedMetaInfo = 1 // packed height/size/valid
+	pagedMetaDim  = 2
+)
+
+// pagedCRC is the checksum table for node pages.
+var pagedCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// PagedStore is a NodeStore backed by a store.BufferPool, making the tree
+// disk-resident: each node occupies one page, and tree metadata lives in
+// the pager's root slots.
+type PagedStore struct {
+	pool *store.BufferPool
+	pg   *store.Pager
+	dim  int
+	max  int
+}
+
+// NewPagedStore creates a paged node store for dim-dimensional rectangles.
+// The node capacity is derived from the page size; an error is returned if
+// a page cannot hold at least 4 entries.
+func NewPagedStore(pg *store.Pager, pool *store.BufferPool, dim int) (*PagedStore, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("rstar: dimension %d < 1", dim)
+	}
+	entryBytes := pagedRefBytes + 16*dim
+	// Reserve one slot beyond MaxEntries: the tree transiently persists a
+	// node holding M+1 entries before overflow treatment runs.
+	max := (pg.PageSize()-pagedHeader)/entryBytes - 1
+	if max < 4 {
+		return nil, fmt.Errorf("rstar: page size %d holds only %d %d-dimensional entries; need >= 4",
+			pg.PageSize(), max, dim)
+	}
+	if stored := pg.Root(pagedMetaDim); stored != 0 && stored != uint64(dim) {
+		return nil, fmt.Errorf("rstar: store was created with dimension %d, not %d", stored, dim)
+	}
+	pg.SetRoot(pagedMetaDim, uint64(dim))
+	return &PagedStore{pool: pool, pg: pg, dim: dim, max: max}, nil
+}
+
+// Dim implements NodeStore.
+func (s *PagedStore) Dim() int { return s.dim }
+
+// MaxEntries implements NodeStore.
+func (s *PagedStore) MaxEntries() int { return s.max }
+
+// New implements NodeStore.
+func (s *PagedStore) New(leaf bool) (*Node, error) {
+	f, err := s.pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{ID: NodeID(f.ID), Leaf: leaf}
+	s.encode(n, f.Data)
+	s.pool.Unpin(f, true)
+	return n, nil
+}
+
+// Get implements NodeStore.
+func (s *PagedStore) Get(id NodeID) (*Node, error) {
+	f, err := s.pool.Get(store.PageID(id))
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.decode(id, f.Data)
+	s.pool.Unpin(f, false)
+	return n, err
+}
+
+// Put implements NodeStore.
+func (s *PagedStore) Put(n *Node) error {
+	if len(n.Entries) > s.max+1 {
+		return fmt.Errorf("rstar: node %d has %d entries, page holds %d", n.ID, len(n.Entries), s.max+1)
+	}
+	f, err := s.pool.Get(store.PageID(n.ID))
+	if err != nil {
+		return err
+	}
+	s.encode(n, f.Data)
+	s.pool.Unpin(f, true)
+	return nil
+}
+
+// Free implements NodeStore.
+func (s *PagedStore) Free(id NodeID) error {
+	return s.pool.Discard(store.PageID(id))
+}
+
+// Meta implements NodeStore.
+func (s *PagedStore) Meta() (Meta, error) {
+	info := s.pg.Root(pagedMetaInfo)
+	m := Meta{
+		Root:   NodeID(s.pg.Root(pagedMetaRoot)),
+		Height: int(info >> 33),
+		Size:   int((info >> 1) & 0xFFFFFFFF),
+		Valid:  info&1 == 1,
+	}
+	return m, nil
+}
+
+// SetMeta implements NodeStore.
+func (s *PagedStore) SetMeta(m Meta) error {
+	if m.Height < 0 || m.Size < 0 || m.Size > math.MaxUint32 {
+		return fmt.Errorf("rstar: metadata out of range: %+v", m)
+	}
+	s.pg.SetRoot(pagedMetaRoot, uint64(m.Root))
+	info := uint64(m.Height)<<33 | uint64(m.Size)<<1
+	if m.Valid {
+		info |= 1
+	}
+	s.pg.SetRoot(pagedMetaInfo, info)
+	return nil
+}
+
+// Flush writes all dirty pages and metadata to disk.
+func (s *PagedStore) Flush() error { return s.pool.FlushAll() }
+
+func (s *PagedStore) encode(n *Node, buf []byte) {
+	if n.Leaf {
+		buf[0] = 1
+	} else {
+		buf[0] = 0
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.Entries)))
+	buf[3] = 0
+	off := pagedHeader
+	for _, e := range n.Entries {
+		ref := uint64(e.Data)
+		if !n.Leaf {
+			ref = uint64(e.Child)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], ref)
+		off += 8
+		for _, v := range e.Rect.Min {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+		for _, v := range e.Rect.Max {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	sum := crc32.Checksum(buf[:4], pagedCRC)
+	sum = crc32.Update(sum, pagedCRC, buf[pagedHeader:off])
+	binary.LittleEndian.PutUint32(buf[4:], sum)
+}
+
+func (s *PagedStore) decode(id NodeID, buf []byte) (*Node, error) {
+	n := &Node{ID: id, Leaf: buf[0]&1 == 1}
+	count := int(binary.LittleEndian.Uint16(buf[1:]))
+	if count > s.max+1 {
+		return nil, fmt.Errorf("rstar: page %d claims %d entries, max %d", id, count, s.max+1)
+	}
+	entryBytes := count * (pagedRefBytes + 16*s.dim)
+	sum := crc32.Checksum(buf[:4], pagedCRC)
+	sum = crc32.Update(sum, pagedCRC, buf[pagedHeader:pagedHeader+entryBytes])
+	if stored := binary.LittleEndian.Uint32(buf[4:]); stored != sum {
+		return nil, fmt.Errorf("rstar: page %d checksum mismatch (stored %08x, computed %08x): data corruption", id, stored, sum)
+	}
+	off := pagedHeader
+	n.Entries = make([]Entry, count)
+	for i := 0; i < count; i++ {
+		ref := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		e := Entry{Rect: Rect{Min: make([]float64, s.dim), Max: make([]float64, s.dim)}}
+		if n.Leaf {
+			e.Data = int64(ref)
+		} else {
+			e.Child = NodeID(ref)
+		}
+		for j := 0; j < s.dim; j++ {
+			e.Rect.Min[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for j := 0; j < s.dim; j++ {
+			e.Rect.Max[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		n.Entries[i] = e
+	}
+	return n, nil
+}

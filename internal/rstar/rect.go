@@ -1,0 +1,192 @@
+// Package rstar implements a d-dimensional R*-tree (Beckmann, Kriegel,
+// Schneider, Seeger, SIGMOD 1990): insertion with forced reinsertion,
+// margin-driven node splits, overlap queries, deletion with tree
+// condensation, and nearest-neighbor search. WALRUS stores one entry per
+// image region, keyed by the region's signature point or signature
+// bounding box (Section 5.3/5.4 of the paper), and probes the tree with
+// query rectangles extended by the matching epsilon.
+//
+// Nodes live behind the NodeStore interface, with an in-memory
+// implementation and a disk-backed one built on package store, making the
+// index genuinely disk-based as in the paper.
+package rstar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is a d-dimensional axis-aligned rectangle. A point is a rectangle
+// with Min == Max.
+type Rect struct {
+	Min, Max []float64
+}
+
+// NewRect copies lo and hi into a Rect, validating lo[i] <= hi[i].
+func NewRect(lo, hi []float64) (Rect, error) {
+	if len(lo) != len(hi) {
+		return Rect{}, fmt.Errorf("rstar: rect corners have dims %d and %d", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Rect{}, fmt.Errorf("rstar: zero-dimensional rect")
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Rect{}, fmt.Errorf("rstar: min %v > max %v on dim %d", lo[i], hi[i], i)
+		}
+	}
+	r := Rect{Min: make([]float64, len(lo)), Max: make([]float64, len(hi))}
+	copy(r.Min, lo)
+	copy(r.Max, hi)
+	return r, nil
+}
+
+// Point returns the degenerate rectangle at p.
+func Point(p []float64) Rect {
+	r := Rect{Min: make([]float64, len(p)), Max: make([]float64, len(p))}
+	copy(r.Min, p)
+	copy(r.Max, p)
+	return r
+}
+
+// Dim returns the dimensionality.
+func (r Rect) Dim() int { return len(r.Min) }
+
+// Clone returns a deep copy.
+func (r Rect) Clone() Rect {
+	out := Rect{Min: make([]float64, len(r.Min)), Max: make([]float64, len(r.Max))}
+	copy(out.Min, r.Min)
+	copy(out.Max, r.Max)
+	return out
+}
+
+// Area returns the d-dimensional volume.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		a *= r.Max[i] - r.Min[i]
+	}
+	return a
+}
+
+// Margin returns the sum of edge lengths (the R* split criterion).
+func (r Rect) Margin() float64 {
+	m := 0.0
+	for i := range r.Min {
+		m += r.Max[i] - r.Min[i]
+	}
+	return m
+}
+
+// Intersects reports whether r and o share any point (touching counts).
+func (r Rect) Intersects(o Rect) bool {
+	for i := range r.Min {
+		if r.Min[i] > o.Max[i] || o.Min[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o lies entirely within r.
+func (r Rect) Contains(o Rect) bool {
+	for i := range r.Min {
+		if o.Min[i] < r.Min[i] || o.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact equality.
+func (r Rect) Equal(o Rect) bool {
+	if len(r.Min) != len(o.Min) {
+		return false
+	}
+	for i := range r.Min {
+		if r.Min[i] != o.Min[i] || r.Max[i] != o.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the smallest rectangle containing r and o.
+func (r Rect) Union(o Rect) Rect {
+	out := r.Clone()
+	for i := range out.Min {
+		if o.Min[i] < out.Min[i] {
+			out.Min[i] = o.Min[i]
+		}
+		if o.Max[i] > out.Max[i] {
+			out.Max[i] = o.Max[i]
+		}
+	}
+	return out
+}
+
+// Enlargement returns the area increase needed for r to cover o.
+func (r Rect) Enlargement(o Rect) float64 {
+	return r.Union(o).Area() - r.Area()
+}
+
+// OverlapArea returns the volume of the intersection of r and o.
+func (r Rect) OverlapArea(o Rect) float64 {
+	a := 1.0
+	for i := range r.Min {
+		lo := math.Max(r.Min[i], o.Min[i])
+		hi := math.Min(r.Max[i], o.Max[i])
+		if hi <= lo {
+			return 0
+		}
+		a *= hi - lo
+	}
+	return a
+}
+
+// Expand grows the rectangle by eps on every side, the operation WALRUS
+// uses to turn a region signature into an epsilon-envelope query.
+func (r Rect) Expand(eps float64) Rect {
+	out := r.Clone()
+	for i := range out.Min {
+		out.Min[i] -= eps
+		out.Max[i] += eps
+	}
+	return out
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() []float64 {
+	c := make([]float64, len(r.Min))
+	for i := range c {
+		c[i] = (r.Min[i] + r.Max[i]) / 2
+	}
+	return c
+}
+
+// centerDist2 returns the squared euclidean distance between centers.
+func centerDist2(a, b Rect) float64 {
+	d2 := 0.0
+	for i := range a.Min {
+		d := (a.Min[i]+a.Max[i])/2 - (b.Min[i]+b.Max[i])/2
+		d2 += d * d
+	}
+	return d2
+}
+
+// MinDist2 returns the squared minimum distance from point p to the
+// rectangle (0 if p is inside), used for nearest-neighbor pruning.
+func (r Rect) MinDist2(p []float64) float64 {
+	d2 := 0.0
+	for i, v := range p {
+		switch {
+		case v < r.Min[i]:
+			d := r.Min[i] - v
+			d2 += d * d
+		case v > r.Max[i]:
+			d := v - r.Max[i]
+			d2 += d * d
+		}
+	}
+	return d2
+}

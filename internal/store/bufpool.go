@@ -1,0 +1,189 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is a buffered page. Callers obtain Frames from a BufferPool, read
+// or modify Data, and must Unpin when done, marking the frame dirty if it
+// was modified. A pinned frame's Data is stable; once unpinned it may be
+// evicted and reused at any time.
+type Frame struct {
+	ID   PageID
+	Data []byte
+
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// PoolStats counts buffer pool activity.
+type PoolStats struct {
+	Hits, Misses, Evictions, Flushes uint64
+}
+
+// BufferPool caches pages of a Pager in memory with LRU replacement.
+// It is safe for concurrent use.
+type BufferPool struct {
+	pager *Pager
+	cap   int
+
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	lru    *list.List // front = most recently used; holds unpinned and pinned frames alike
+	stats  PoolStats
+}
+
+// NewBufferPool wraps a pager with a cache of at most capacity pages.
+func NewBufferPool(p *Pager, capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("store: buffer pool capacity %d < 1", capacity)
+	}
+	return &BufferPool{
+		pager:  p,
+		cap:    capacity,
+		frames: make(map[PageID]*Frame),
+		lru:    list.New(),
+	}, nil
+}
+
+// Stats returns a snapshot of pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// Get returns a pinned frame for page id, reading it from disk on a miss.
+func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.pager.ReadPage(id, f.Data); err != nil {
+		bp.drop(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page and returns it pinned and zeroed. The
+// frame starts dirty so it is written back even if the caller stores
+// nothing.
+func (bp *BufferPool) NewPage() (*Frame, error) {
+	id, err := bp.pager.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// admit makes room if needed and installs a new pinned frame for id.
+// Caller holds bp.mu.
+func (bp *BufferPool) admit(id PageID) (*Frame, error) {
+	for len(bp.frames) >= bp.cap {
+		if !bp.evictOne() {
+			return nil, fmt.Errorf("store: buffer pool exhausted: all %d frames pinned", bp.cap)
+		}
+	}
+	f := &Frame{ID: id, Data: make([]byte, bp.pager.PageSize()), pins: 1}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[id] = f
+	return f, nil
+}
+
+// evictOne removes the least recently used unpinned frame, flushing it if
+// dirty. Returns false if every frame is pinned. Caller holds bp.mu.
+func (bp *BufferPool) evictOne() bool {
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+				// A failed write-back is unrecoverable for this frame; keep
+				// it resident rather than lose data.
+				continue
+			}
+			bp.stats.Flushes++
+		}
+		bp.drop(f)
+		bp.stats.Evictions++
+		return true
+	}
+	return false
+}
+
+// drop removes a frame from the pool. Caller holds bp.mu.
+func (bp *BufferPool) drop(f *Frame) {
+	bp.lru.Remove(f.elem)
+	delete(bp.frames, f.ID)
+}
+
+// Unpin releases one pin on f; dirty marks the page as modified.
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f.pins <= 0 {
+		panic("store: Unpin of unpinned frame")
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FlushAll writes every dirty frame back and syncs the pager. Pinned
+// frames are flushed but stay resident.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+				bp.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+			bp.stats.Flushes++
+		}
+	}
+	bp.mu.Unlock()
+	return bp.pager.Sync()
+}
+
+// Discard drops page id from the cache without writing it back and frees
+// it in the pager. The page must not be pinned.
+func (bp *BufferPool) Discard(id PageID) error {
+	bp.mu.Lock()
+	if f, ok := bp.frames[id]; ok {
+		if f.pins > 0 {
+			bp.mu.Unlock()
+			return fmt.Errorf("store: Discard of pinned page %d", id)
+		}
+		bp.drop(f)
+	}
+	bp.mu.Unlock()
+	return bp.pager.Free(id)
+}

@@ -1,0 +1,283 @@
+// Package store provides the page-based storage layer the disk-resident
+// WALRUS index sits on: a Pager managing fixed-size pages in a single file
+// with a free list, and a BufferPool caching pages in memory with LRU
+// eviction and pin/unpin semantics. Together they stand in for the storage
+// manager the paper's implementation got from the libgist package.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageID identifies a page within a Pager's file. Page 0 is the metadata
+// page and is never handed out; InvalidPage (0) doubles as the nil value.
+type PageID uint32
+
+// InvalidPage is the zero PageID, used as a nil marker.
+const InvalidPage PageID = 0
+
+// DefaultPageSize is the page size used when none is specified.
+const DefaultPageSize = 4096
+
+const (
+	pagerMagic   = 0x57414C52 // "WALR"
+	pagerVersion = 1
+	numRoots     = 8
+	metaSize     = 4 + 4 + 4 + 4 + 4 + numRoots*8 // magic, version, pageSize, nPages, freeHead, roots
+	minPageSize  = 128
+)
+
+// Pager manages fixed-size pages in one file. All methods are safe for
+// concurrent use.
+type Pager struct {
+	mu        sync.Mutex
+	f         *os.File
+	pageSize  int
+	nPages    uint32 // includes the meta page
+	freeHead  PageID
+	roots     [numRoots]uint64
+	metaDirty bool
+}
+
+// Create creates a new page file at path, truncating any existing file.
+func Create(path string, pageSize int) (*Pager, error) {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < minPageSize {
+		return nil, fmt.Errorf("store: page size %d below minimum %d", pageSize, minPageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	p := &Pager{f: f, pageSize: pageSize, nPages: 1, metaDirty: true}
+	if err := p.writeMeta(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Open opens an existing page file.
+func Open(path string) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	buf := make([]byte, metaSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading meta page of %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != pagerMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a WALRUS page file", path)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != pagerVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: %s has unsupported version %d", path, v)
+	}
+	p := &Pager{
+		f:        f,
+		pageSize: int(binary.LittleEndian.Uint32(buf[8:])),
+		nPages:   binary.LittleEndian.Uint32(buf[12:]),
+		freeHead: PageID(binary.LittleEndian.Uint32(buf[16:])),
+	}
+	for i := 0; i < numRoots; i++ {
+		p.roots[i] = binary.LittleEndian.Uint64(buf[20+8*i:])
+	}
+	if p.pageSize < minPageSize {
+		f.Close()
+		return nil, fmt.Errorf("store: %s has corrupt page size %d", path, p.pageSize)
+	}
+	return p, nil
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of pages in the file, including the meta
+// page and freed pages.
+func (p *Pager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.nPages)
+}
+
+// Root returns user root slot i (0..7); the pager persists these opaque
+// values so clients can find their data structures after reopening.
+func (p *Pager) Root(i int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.roots[i]
+}
+
+// SetRoot assigns user root slot i.
+func (p *Pager) SetRoot(i int, v uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.roots[i] = v
+	p.metaDirty = true
+}
+
+// writeMeta flushes the metadata page. Caller must hold mu or have
+// exclusive access.
+func (p *Pager) writeMeta() error {
+	buf := make([]byte, p.pageSize)
+	binary.LittleEndian.PutUint32(buf[0:], pagerMagic)
+	binary.LittleEndian.PutUint32(buf[4:], pagerVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(p.pageSize))
+	binary.LittleEndian.PutUint32(buf[12:], p.nPages)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(p.freeHead))
+	for i := 0; i < numRoots; i++ {
+		binary.LittleEndian.PutUint64(buf[20+8*i:], p.roots[i])
+	}
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("store: writing meta page: %w", err)
+	}
+	p.metaDirty = false
+	return nil
+}
+
+// Alloc returns a fresh page, reusing freed pages when available. The
+// page's previous contents are undefined.
+func (p *Pager) Alloc() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freeHead != InvalidPage {
+		id := p.freeHead
+		buf := make([]byte, 4)
+		if _, err := p.f.ReadAt(buf, p.offset(id)); err != nil {
+			return InvalidPage, fmt.Errorf("store: reading free-list page %d: %w", id, err)
+		}
+		p.freeHead = PageID(binary.LittleEndian.Uint32(buf))
+		p.metaDirty = true
+		return id, nil
+	}
+	id := PageID(p.nPages)
+	p.nPages++
+	p.metaDirty = true
+	// Extend the file so ReadPage on the new page succeeds immediately.
+	zero := make([]byte, p.pageSize)
+	if _, err := p.f.WriteAt(zero, p.offset(id)); err != nil {
+		return InvalidPage, fmt.Errorf("store: extending file for page %d: %w", id, err)
+	}
+	return id, nil
+}
+
+// Free returns a page to the free list.
+func (p *Pager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(id); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, uint32(p.freeHead))
+	if _, err := p.f.WriteAt(buf, p.offset(id)); err != nil {
+		return fmt.Errorf("store: linking freed page %d: %w", id, err)
+	}
+	p.freeHead = id
+	p.metaDirty = true
+	return nil
+}
+
+// ReadPage fills buf (which must be exactly one page long) with page id.
+func (p *Pager) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(id); err != nil {
+		return err
+	}
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.pageSize)
+	}
+	if _, err := p.f.ReadAt(buf, p.offset(id)); err != nil && err != io.EOF {
+		return fmt.Errorf("store: reading page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage writes buf (exactly one page long) to page id.
+func (p *Pager) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(id); err != nil {
+		return err
+	}
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.pageSize)
+	}
+	if _, err := p.f.WriteAt(buf, p.offset(id)); err != nil {
+		return fmt.Errorf("store: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *Pager) check(id PageID) error {
+	if id == InvalidPage || uint32(id) >= p.nPages {
+		return fmt.Errorf("store: page %d out of range (file has %d pages)", id, p.nPages)
+	}
+	return nil
+}
+
+func (p *Pager) offset(id PageID) int64 { return int64(id) * int64(p.pageSize) }
+
+// Sync flushes metadata and file contents to stable storage.
+func (p *Pager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.metaDirty {
+		if err := p.writeMeta(); err != nil {
+			return err
+		}
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the file.
+func (p *Pager) Close() error {
+	if err := p.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}
+
+// PagerStats summarizes a pager's space accounting.
+type PagerStats struct {
+	// PageSize is the page size in bytes.
+	PageSize int
+	// TotalPages counts all pages in the file, including the meta page.
+	TotalPages int
+	// FreePages counts pages currently on the free list.
+	FreePages int
+}
+
+// Stats walks the free list and reports space accounting. It takes time
+// linear in the free-list length.
+func (p *Pager) Stats() (PagerStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PagerStats{PageSize: p.pageSize, TotalPages: int(p.nPages)}
+	buf := make([]byte, 4)
+	for id := p.freeHead; id != InvalidPage; {
+		s.FreePages++
+		if s.FreePages > int(p.nPages) {
+			return s, fmt.Errorf("store: free list cycle detected")
+		}
+		if _, err := p.f.ReadAt(buf, p.offset(id)); err != nil {
+			return s, fmt.Errorf("store: reading free-list page %d: %w", id, err)
+		}
+		id = PageID(binary.LittleEndian.Uint32(buf))
+	}
+	return s, nil
+}

@@ -1,0 +1,386 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newTestPager(t *testing.T, pageSize int) (*Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := Create(path, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, path
+}
+
+func TestPagerCreateRejectsTinyPages(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "x.db"), 16); err == nil {
+		t.Fatal("Create accepted 16-byte pages")
+	}
+}
+
+func TestPagerAllocReadWrite(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	id, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == InvalidPage {
+		t.Fatal("Alloc returned InvalidPage")
+	}
+	buf := make([]byte, 256)
+	copy(buf, "hello pages")
+	if err := p.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := p.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("read back different data")
+	}
+}
+
+func TestPagerRejectsBadBufferAndIDs(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	id, _ := p.Alloc()
+	if err := p.WritePage(id, make([]byte, 255)); err == nil {
+		t.Error("WritePage accepted short buffer")
+	}
+	if err := p.ReadPage(id, make([]byte, 257)); err == nil {
+		t.Error("ReadPage accepted long buffer")
+	}
+	if err := p.ReadPage(InvalidPage, make([]byte, 256)); err == nil {
+		t.Error("ReadPage accepted page 0")
+	}
+	if err := p.WritePage(PageID(99), make([]byte, 256)); err == nil {
+		t.Error("WritePage accepted out-of-range page")
+	}
+	if err := p.Free(PageID(99)); err == nil {
+		t.Error("Free accepted out-of-range page")
+	}
+}
+
+func TestPagerFreeListReuse(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	c, _ := p.Alloc()
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// LIFO reuse: the most recently freed page comes back first.
+	r1, _ := p.Alloc()
+	r2, _ := p.Alloc()
+	if r1 != a || r2 != b {
+		t.Fatalf("free list reuse: got %d,%d want %d,%d", r1, r2, a, b)
+	}
+	// A fresh alloc extends the file.
+	r3, _ := p.Alloc()
+	if r3 != c+1 {
+		t.Fatalf("expected extension to page %d, got %d", c+1, r3)
+	}
+}
+
+func TestPagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	p, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Alloc()
+	buf := make([]byte, 512)
+	rng := rand.New(rand.NewSource(61))
+	for i := range buf {
+		buf[i] = byte(rng.Intn(256))
+	}
+	if err := p.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	p.SetRoot(3, uint64(id))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.PageSize() != 512 {
+		t.Fatalf("PageSize = %d, want 512", q.PageSize())
+	}
+	if got := q.Root(3); got != uint64(id) {
+		t.Fatalf("Root(3) = %d, want %d", got, id)
+	}
+	got := make([]byte, 512)
+	if err := q.ReadPage(PageID(q.Root(3)), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("page contents lost across reopen")
+	}
+	// Free list survives too.
+	if err := q.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagerOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.db")
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	// Corrupt the magic.
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.db")); err == nil {
+		t.Error("Open accepted missing file")
+	}
+}
+
+func TestBufferPoolBasic(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, err := NewBufferPool(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data, "cached")
+	id := f.ID
+	bp.Unpin(f, true)
+	// Hit.
+	g, err := bp.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g.Data[:6]) != "cached" {
+		t.Fatalf("cached data = %q", g.Data[:6])
+	}
+	bp.Unpin(g, false)
+	st := bp.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, err := NewBufferPool(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data[0] = byte(i + 1)
+		ids = append(ids, f.ID)
+		bp.Unpin(f, true)
+	}
+	// Pages 0..2 must have been evicted and written back; re-reading them
+	// through the pool must return the stored bytes.
+	for i, id := range ids {
+		f, err := bp.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != byte(i+1) {
+			t.Fatalf("page %d: data[0] = %d, want %d", id, f.Data[0], i+1)
+		}
+		bp.Unpin(f, false)
+	}
+	if st := bp.Stats(); st.Evictions == 0 || st.Flushes == 0 {
+		t.Fatalf("expected evictions and flushes, got %+v", st)
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, err := NewBufferPool(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := bp.NewPage()
+	b, _ := bp.NewPage()
+	if _, err := bp.NewPage(); err == nil {
+		t.Fatal("NewPage succeeded with all frames pinned")
+	}
+	bp.Unpin(a, false)
+	if _, err := bp.NewPage(); err != nil {
+		t.Fatalf("NewPage failed after unpin: %v", err)
+	}
+	bp.Unpin(b, false)
+}
+
+func TestBufferPoolUnpinPanicsWhenUnpinned(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, _ := NewBufferPool(p, 2)
+	f, _ := bp.NewPage()
+	bp.Unpin(f, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Unpin did not panic")
+		}
+	}()
+	bp.Unpin(f, false)
+}
+
+func TestBufferPoolFlushAllPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flush.db")
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, _ := NewBufferPool(p, 8)
+	f, _ := bp.NewPage()
+	copy(f.Data, "durable")
+	id := f.ID
+	bp.Unpin(f, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	buf := make([]byte, 256)
+	if err := q.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:7]) != "durable" {
+		t.Fatalf("data = %q", buf[:7])
+	}
+}
+
+func TestBufferPoolDiscard(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, _ := NewBufferPool(p, 4)
+	f, _ := bp.NewPage()
+	id := f.ID
+	if err := bp.Discard(id); err == nil {
+		t.Fatal("Discard succeeded on pinned page")
+	}
+	bp.Unpin(f, true)
+	if err := bp.Discard(id); err != nil {
+		t.Fatal(err)
+	}
+	// The freed page is reused by the next allocation.
+	g, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ID != id {
+		t.Fatalf("freed page not reused: got %d, want %d", g.ID, id)
+	}
+	bp.Unpin(g, false)
+}
+
+func TestNewBufferPoolRejectsZeroCapacity(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	if _, err := NewBufferPool(p, 0); err == nil {
+		t.Fatal("NewBufferPool accepted capacity 0")
+	}
+}
+
+// TestPagerManyPagesStress: a few thousand alloc/write/read/free cycles
+// through a small buffer pool keep data intact.
+func TestPagerManyPagesStress(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, _ := NewBufferPool(p, 8)
+	rng := rand.New(rand.NewSource(62))
+	content := make(map[PageID]byte)
+	var live []PageID
+	for i := 0; i < 3000; i++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) > 0:
+			f, err := bp.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := byte(rng.Intn(256))
+			f.Data[10] = b
+			content[f.ID] = b
+			live = append(live, f.ID)
+			bp.Unpin(f, true)
+		default:
+			idx := rng.Intn(len(live))
+			id := live[idx]
+			f, err := bp.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Data[10] != content[id] {
+				t.Fatalf("page %d: data %d, want %d", id, f.Data[10], content[id])
+			}
+			bp.Unpin(f, false)
+			if rng.Intn(2) == 0 {
+				if err := bp.Discard(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(content, id)
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+	}
+}
+
+func TestPagerStats(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	s, err := p.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalPages != 1 || s.FreePages != 0 || s.PageSize != 256 {
+		t.Fatalf("fresh stats: %+v", s)
+	}
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	s, err = p.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalPages != 3 || s.FreePages != 2 {
+		t.Fatalf("stats after free: %+v", s)
+	}
+	// Reuse shrinks the free list.
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = p.Stats()
+	if s.FreePages != 1 {
+		t.Fatalf("stats after realloc: %+v", s)
+	}
+}

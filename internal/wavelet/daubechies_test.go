@@ -1,0 +1,98 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDaubechiesFilterOrthonormality: the D4 filter satisfies the standard
+// orthonormality conditions sum(h)=sqrt(2), sum(h_i^2)=1, sum(g)=0.
+func TestDaubechiesFilterOrthonormality(t *testing.T) {
+	var sumH, sumH2, sumG float64
+	for i := 0; i < 4; i++ {
+		sumH += d4h[i]
+		sumH2 += d4h[i] * d4h[i]
+		sumG += d4g[i]
+	}
+	if !almostEqual(sumH, math.Sqrt2) {
+		t.Errorf("sum(h) = %v, want sqrt(2)", sumH)
+	}
+	if !almostEqual(sumH2, 1) {
+		t.Errorf("sum(h^2) = %v, want 1", sumH2)
+	}
+	if !almostEqual(sumG, 0) {
+		t.Errorf("sum(g) = %v, want 0", sumG)
+	}
+}
+
+func TestDaubechies1DStepRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{4, 8, 16, 128} {
+		data := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+			orig[i] = data[i]
+		}
+		tmp := make([]float64, n)
+		daub4Step(data, tmp, n)
+		daub4InverseStep(data, tmp, n)
+		if !slicesAlmostEqual(data, orig) {
+			t.Fatalf("n=%d: 1D step round trip mismatch", n)
+		}
+	}
+}
+
+func TestDaubechiesTransform2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, tc := range []struct{ size, levels int }{{8, 1}, {16, 2}, {32, 3}, {128, 4}, {128, 5}} {
+		m := randomMatrix(rng, tc.size)
+		fw, err := DaubechiesTransform2D(m, tc.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DaubechiesInverse2D(fw, tc.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slicesAlmostEqual(back.Data, m.Data) {
+			t.Fatalf("size %d levels %d: round trip mismatch", tc.size, tc.levels)
+		}
+	}
+}
+
+func TestDaubechiesTransform2DErrors(t *testing.T) {
+	m := NewMatrix(8, 8)
+	if _, err := DaubechiesTransform2D(m, 0); err == nil {
+		t.Error("accepted 0 levels")
+	}
+	if _, err := DaubechiesTransform2D(m, 3); err == nil {
+		t.Error("accepted too many levels for 8x8")
+	}
+	if _, err := DaubechiesTransform2D(NewMatrix(8, 6), 1); err == nil {
+		t.Error("accepted non-square matrix")
+	}
+	if _, err := DaubechiesInverse2D(NewMatrix(6, 6), 1); err == nil {
+		t.Error("inverse accepted non-power-of-two matrix")
+	}
+}
+
+// TestDaubechiesEnergyPreservation: the orthonormal D4 transform preserves
+// the signal's energy (sum of squares).
+func TestDaubechiesEnergyPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomMatrix(rng, 64)
+	fw, err := DaubechiesTransform2D(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e1, e2 float64
+	for i := range m.Data {
+		e1 += m.Data[i] * m.Data[i]
+		e2 += fw.Data[i] * fw.Data[i]
+	}
+	if !almostEqual(e1, e2) {
+		t.Fatalf("energy not preserved: %v vs %v", e1, e2)
+	}
+}

@@ -1,0 +1,90 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transform1D computes the one-dimensional Haar wavelet transform of data
+// using the averaging convention of Section 3.1 of the WALRUS paper: each
+// pass replaces pairs (a, b) by their average (a+b)/2 and the detail
+// coefficient (b-a)/2, recursing on the averages. The result is laid out as
+// [overall average, detail of coarsest level, ..., details of finest level],
+// i.e. [2,2,5,7] transforms to [4,2,0,1].
+//
+// len(data) must be a power of two. The input slice is not modified.
+func Transform1D(data []float64) ([]float64, error) {
+	n := len(data)
+	if !isPow2(n) {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	out := make([]float64, n)
+	copy(out, data)
+	tmp := make([]float64, n)
+	for cur := n; cur > 1; cur /= 2 {
+		half := cur / 2
+		for i := 0; i < half; i++ {
+			a, b := out[2*i], out[2*i+1]
+			tmp[i] = (a + b) / 2
+			tmp[half+i] = (b - a) / 2
+		}
+		copy(out[:cur], tmp[:cur])
+	}
+	return out, nil
+}
+
+// Inverse1D reconstructs the original signal from a transform produced by
+// Transform1D. len(coeffs) must be a power of two.
+func Inverse1D(coeffs []float64) ([]float64, error) {
+	n := len(coeffs)
+	if !isPow2(n) {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	out := make([]float64, n)
+	copy(out, coeffs)
+	tmp := make([]float64, n)
+	for half := 1; half < n; half *= 2 {
+		cur := half * 2
+		for i := 0; i < half; i++ {
+			avg, det := out[i], out[half+i]
+			tmp[2*i] = avg - det
+			tmp[2*i+1] = avg + det
+		}
+		copy(out[:cur], tmp[:cur])
+	}
+	return out, nil
+}
+
+// Normalize1D scales the detail coefficients of a Transform1D result so
+// that all coefficients carry equal importance, per Section 3.1: the detail
+// band at resolution level j (level 0 being the coarsest detail band, with
+// finer bands at increasing j) is divided by sqrt(2)^j. The overall average
+// is left unchanged, so [4,2,0,1] normalizes to [4,2,0,1/sqrt(2)].
+//
+// The slice is modified in place and also returned for convenience.
+func Normalize1D(coeffs []float64) []float64 {
+	n := len(coeffs)
+	level := 0
+	for lo := 1; lo < n; lo *= 2 {
+		factor := math.Pow(math.Sqrt2, float64(level))
+		for i := lo; i < lo*2 && i < n; i++ {
+			coeffs[i] /= factor
+		}
+		level++
+	}
+	return coeffs
+}
+
+// Denormalize1D undoes Normalize1D.
+func Denormalize1D(coeffs []float64) []float64 {
+	n := len(coeffs)
+	level := 0
+	for lo := 1; lo < n; lo *= 2 {
+		factor := math.Pow(math.Sqrt2, float64(level))
+		for i := lo; i < lo*2 && i < n; i++ {
+			coeffs[i] *= factor
+		}
+		level++
+	}
+	return coeffs
+}

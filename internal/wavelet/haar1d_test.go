@@ -1,0 +1,171 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func slicesAlmostEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTransform1DPaperExample checks the worked example from Section 3.1:
+// [2,2,5,7] -> [4,2,0,1].
+func TestTransform1DPaperExample(t *testing.T) {
+	got, err := Transform1D([]float64{2, 2, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 2, 0, 1}
+	if !slicesAlmostEqual(got, want) {
+		t.Fatalf("Transform1D = %v, want %v", got, want)
+	}
+}
+
+// TestNormalize1DPaperExample checks that normalization matches the paper:
+// [4,2,0,1] -> [4,2,0,1/sqrt(2)].
+func TestNormalize1DPaperExample(t *testing.T) {
+	got := Normalize1D([]float64{4, 2, 0, 1})
+	want := []float64{4, 2, 0, 1 / math.Sqrt2}
+	if !slicesAlmostEqual(got, want) {
+		t.Fatalf("Normalize1D = %v, want %v", got, want)
+	}
+}
+
+func TestTransform1DRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 12} {
+		if _, err := Transform1D(make([]float64, n)); err == nil {
+			t.Errorf("Transform1D accepted length %d", n)
+		}
+		if _, err := Inverse1D(make([]float64, n)); err == nil {
+			t.Errorf("Inverse1D accepted length %d", n)
+		}
+	}
+}
+
+func TestTransform1DSingleElement(t *testing.T) {
+	got, err := Transform1D([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Transform1D([42]) = %v", got)
+	}
+}
+
+// TestInverse1DRoundTrip: Inverse1D(Transform1D(x)) == x for random inputs.
+func TestInverse1DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()*100 - 50
+		}
+		coeffs, err := Transform1D(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse1D(coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slicesAlmostEqual(back, data) {
+			t.Fatalf("n=%d: round trip mismatch\nin  %v\nout %v", n, data, back)
+		}
+	}
+}
+
+// TestTransform1DAverage: the first coefficient is always the overall mean.
+func TestTransform1DAverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(6))
+		data := make([]float64, n)
+		sum := 0.0
+		for i := range data {
+			data[i] = rng.Float64() * 10
+			sum += data[i]
+		}
+		coeffs, err := Transform1D(data)
+		if err != nil {
+			return false
+		}
+		return almostEqual(coeffs[0], sum/float64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNormalize1DRoundTrip: Denormalize1D(Normalize1D(x)) == x.
+func TestNormalize1DRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(7))
+		data := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+			orig[i] = data[i]
+		}
+		Denormalize1D(Normalize1D(data))
+		return slicesAlmostEqual(data, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransform1DLinearity: the transform is a linear operator.
+func TestTransform1DLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 32
+	a := make([]float64, n)
+	b := make([]float64, n)
+	sum := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	ta, _ := Transform1D(a)
+	tb, _ := Transform1D(b)
+	tsum, _ := Transform1D(sum)
+	for i := range tsum {
+		if !almostEqual(tsum[i], 2*ta[i]+3*tb[i]) {
+			t.Fatalf("linearity violated at %d: %v vs %v", i, tsum[i], 2*ta[i]+3*tb[i])
+		}
+	}
+}
+
+// TestTransform1DConstantSignal: a constant signal has zero details.
+func TestTransform1DConstantSignal(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = 3.25
+	}
+	coeffs, err := Transform1D(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(coeffs[0], 3.25) {
+		t.Fatalf("average = %v, want 3.25", coeffs[0])
+	}
+	for i := 1; i < len(coeffs); i++ {
+		if !almostEqual(coeffs[i], 0) {
+			t.Fatalf("detail coefficient %d = %v, want 0", i, coeffs[i])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Transform2D computes the two-dimensional non-standard Haar decomposition
+// of a square power-of-two matrix, following procedure computeWavelet in
+// Figure 2 of the WALRUS paper. One step of horizontal pairwise averaging
+// and differencing is applied to each row, then one step of vertical
+// averaging and differencing to each column, and the process recurses on
+// the quadrant of averages. In the result:
+//
+//   - element (0,0) of the top-left 1×1 corner is the overall pixel average;
+//   - the upper-right quadrant at each scale holds horizontal detail
+//     coefficients, the lower-left quadrant vertical details, and the
+//     lower-right quadrant diagonal details.
+//
+// The input matrix is not modified.
+func Transform2D(m Matrix) (Matrix, error) {
+	if !m.IsSquarePow2() {
+		return Matrix{}, fmt.Errorf("wavelet: Transform2D requires a square power-of-two matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	w := m.Rows
+	out := NewMatrix(w, w)
+	// cur holds the matrix of averages still to be decomposed.
+	cur := m.Clone()
+	for size := w; size >= 2; size /= 2 {
+		half := size / 2
+		next := NewMatrix(half, half)
+		for r := 0; r < half; r++ {
+			for c := 0; c < half; c++ {
+				p00 := cur.At(2*r, 2*c)
+				p01 := cur.At(2*r, 2*c+1)
+				p10 := cur.At(2*r+1, 2*c)
+				p11 := cur.At(2*r+1, 2*c+1)
+				next.Set(r, c, (p00+p01+p10+p11)/4)
+				// Horizontal detail: difference across columns.
+				out.Set(r, half+c, (-p00+p01-p10+p11)/4)
+				// Vertical detail: difference across rows.
+				out.Set(half+r, c, (-p00-p01+p10+p11)/4)
+				// Diagonal detail.
+				out.Set(half+r, half+c, (p00-p01-p10+p11)/4)
+			}
+		}
+		cur = next
+	}
+	out.Set(0, 0, cur.At(0, 0))
+	return out, nil
+}
+
+// Inverse2D reconstructs the original matrix from a Transform2D result.
+func Inverse2D(coeffs Matrix) (Matrix, error) {
+	if !coeffs.IsSquarePow2() {
+		return Matrix{}, fmt.Errorf("wavelet: Inverse2D requires a square power-of-two matrix, got %dx%d", coeffs.Rows, coeffs.Cols)
+	}
+	w := coeffs.Rows
+	// avg starts as the 1×1 overall average and is refined scale by scale.
+	avg := NewMatrix(1, 1)
+	avg.Set(0, 0, coeffs.At(0, 0))
+	for half := 1; half < w; half *= 2 {
+		size := half * 2
+		next := NewMatrix(size, size)
+		for r := 0; r < half; r++ {
+			for c := 0; c < half; c++ {
+				a := avg.At(r, c)
+				h := coeffs.At(r, half+c)
+				v := coeffs.At(half+r, c)
+				d := coeffs.At(half+r, half+c)
+				next.Set(2*r, 2*c, a-h-v+d)
+				next.Set(2*r, 2*c+1, a+h-v-d)
+				next.Set(2*r+1, 2*c, a-h+v-d)
+				next.Set(2*r+1, 2*c+1, a+h+v+d)
+			}
+		}
+		avg = next
+	}
+	return avg, nil
+}
+
+// Normalize2D scales the detail coefficients of a Transform2D result so
+// that coefficients at all scales carry equal importance. Analogous to
+// Normalize1D, the detail bands at resolution level j (level 0 being the
+// coarsest, i.e. the three 1×1 quadrants next to the overall average) are
+// divided by 2^j, the two-dimensional normalization factor named in
+// Section 3.2. The matrix is modified in place and returned.
+func Normalize2D(coeffs Matrix) Matrix {
+	scaleBands(coeffs, func(level int) float64 { return 1 / math.Pow(2, float64(level)) })
+	return coeffs
+}
+
+// Denormalize2D undoes Normalize2D.
+func Denormalize2D(coeffs Matrix) Matrix {
+	scaleBands(coeffs, func(level int) float64 { return math.Pow(2, float64(level)) })
+	return coeffs
+}
+
+// scaleBands multiplies every detail coefficient by factor(level), where
+// level 0 is the coarsest detail band. Band level j occupies the three
+// quadrants whose rows/cols span [2^j, 2^(j+1)).
+func scaleBands(coeffs Matrix, factor func(level int) float64) {
+	w := coeffs.Rows
+	level := 0
+	for half := 1; half < w; half *= 2 {
+		f := factor(level)
+		for r := 0; r < half; r++ {
+			for c := half; c < 2*half; c++ {
+				coeffs.Set(r, c, coeffs.At(r, c)*f)
+				coeffs.Set(c, r, coeffs.At(c, r)*f)
+			}
+		}
+		for r := half; r < 2*half; r++ {
+			for c := half; c < 2*half; c++ {
+				coeffs.Set(r, c, coeffs.At(r, c)*f)
+			}
+		}
+		level++
+	}
+}
+
+// TruncateTopK zeroes all but the k largest-magnitude coefficients of a
+// transform (the overall average at (0,0) is always kept), the lossy
+// compression Section 3.1 describes: small detail coefficients contribute
+// little to the reconstruction, so dropping them trades a small error for
+// a sparse representation. The matrix is modified in place and the number
+// of retained coefficients (including the average) is returned.
+func TruncateTopK(coeffs Matrix, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	type mag struct {
+		idx int
+		abs float64
+	}
+	all := make([]mag, 0, len(coeffs.Data)-1)
+	for i := 1; i < len(coeffs.Data); i++ {
+		all = append(all, mag{i, math.Abs(coeffs.Data[i])})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].abs > all[b].abs })
+	kept := 1
+	for rank, m := range all {
+		if rank < k-1 && m.abs > 0 {
+			kept++
+			continue
+		}
+		coeffs.Data[m.idx] = 0
+	}
+	return kept
+}

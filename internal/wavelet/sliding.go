@@ -1,0 +1,332 @@
+package wavelet
+
+import "fmt"
+
+// SlidingParams configures sliding-window signature computation
+// (procedure computeSlidingWindows, Figure 5 of the paper).
+type SlidingParams struct {
+	// MaxWindow is ωmax, the largest window side. Signatures are produced
+	// for every window size 2, 4, ..., MaxWindow. Must be a power of two.
+	MaxWindow int
+	// Signature is s, the side of the retained low-frequency signature
+	// block: each window keeps the top-left min(ω, s) × min(ω, s) corner of
+	// its wavelet transform. Must be a power of two.
+	Signature int
+	// Step is t, the nominal horizontal/vertical distance between the
+	// top-left corners of adjacent windows. The effective distance for
+	// window size ω is min(ω, t), which keeps subwindow positions aligned
+	// with the previous level. Must be a power of two.
+	Step int
+}
+
+// Validate checks that all parameters are powers of two within sane bounds.
+func (p SlidingParams) Validate() error {
+	switch {
+	case !isPow2(p.MaxWindow) || p.MaxWindow < 2:
+		return fmt.Errorf("wavelet: MaxWindow %d must be a power of two >= 2", p.MaxWindow)
+	case !isPow2(p.Signature) || p.Signature < 1:
+		return fmt.Errorf("wavelet: Signature %d must be a power of two >= 1", p.Signature)
+	case p.Signature > p.MaxWindow:
+		return fmt.Errorf("wavelet: Signature %d exceeds MaxWindow %d", p.Signature, p.MaxWindow)
+	case !isPow2(p.Step) || p.Step < 1:
+		return fmt.Errorf("wavelet: Step %d must be a power of two >= 1", p.Step)
+	}
+	return nil
+}
+
+// Grid holds the signatures of all ω×ω windows of one window size, laid out
+// on the regular grid of window positions.
+type Grid struct {
+	Window int // ω
+	Sig    int // side of each stored signature block: min(ω, s)
+	Step   int // distance between adjacent windows: min(ω, t)
+	NX, NY int // number of window positions horizontally / vertically
+	// Data stores NY*NX signature blocks of Sig*Sig values each, row-major
+	// over (iy, ix) and then row-major within the block.
+	Data []float64
+}
+
+// SigAt returns the signature block of the window whose grid position is
+// (ix, iy); its top-left pixel is (ix*Step, iy*Step). The returned slice
+// aliases the grid's backing array.
+func (g *Grid) SigAt(ix, iy int) []float64 {
+	blk := g.Sig * g.Sig
+	off := (iy*g.NX + ix) * blk
+	return g.Data[off : off+blk]
+}
+
+// PosOf returns the top-left pixel coordinates of grid position (ix, iy).
+func (g *Grid) PosOf(ix, iy int) (x, y int) { return ix * g.Step, iy * g.Step }
+
+// Pyramid is the full output of sliding-window signature computation: one
+// Grid per window size 2, 4, ..., MaxWindow.
+type Pyramid struct {
+	ImageW, ImageH int
+	Params         SlidingParams
+	levels         map[int]*Grid
+}
+
+// Level returns the grid for window size ω, or nil if that size was not
+// computed (ω out of range or larger than the image).
+func (p *Pyramid) Level(window int) *Grid { return p.levels[window] }
+
+// Sizes returns the window sizes present in the pyramid, in increasing
+// order.
+func (p *Pyramid) Sizes() []int {
+	var out []int
+	for w := 2; w <= p.Params.MaxWindow; w *= 2 {
+		if p.levels[w] != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ComputeSlidingWindows computes signatures for every sliding window with a
+// power-of-two size between 2×2 and MaxWindow×MaxWindow in an imgW×imgH
+// single-channel image, using the dynamic programming algorithm of Figure 5:
+// the transform of each ω×ω window is assembled from the transforms of its
+// four ω/2×ω/2 subwindows, so the total cost is O(N·s²·log ωmax) rather
+// than the naive O(N·ω²max).
+//
+// plane is the image in row-major order (len == imgW*imgH).
+func ComputeSlidingWindows(plane []float64, imgW, imgH int, params SlidingParams) (*Pyramid, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(plane) != imgW*imgH {
+		return nil, fmt.Errorf("wavelet: plane has %d values, want %d (%dx%d)", len(plane), imgW*imgH, imgW, imgH)
+	}
+	pyr := &Pyramid{ImageW: imgW, ImageH: imgH, Params: params, levels: make(map[int]*Grid)}
+	var prev *Grid
+	for win := 2; win <= params.MaxWindow; win *= 2 {
+		if win > imgW || win > imgH {
+			break
+		}
+		dist := min(win, params.Step)
+		sig := min(win, params.Signature)
+		g := &Grid{
+			Window: win,
+			Sig:    sig,
+			Step:   dist,
+			NX:     (imgW-win)/dist + 1,
+			NY:     (imgH-win)/dist + 1,
+		}
+		g.Data = make([]float64, g.NX*g.NY*sig*sig)
+		half := win / 2
+		for iy := 0; iy < g.NY; iy++ {
+			for ix := 0; ix < g.NX; ix++ {
+				x, y := g.PosOf(ix, iy)
+				dst := g.SigAt(ix, iy)
+				if win == 2 {
+					// Base level: 1×1 "signatures" are the raw pixels.
+					a1 := plane[y*imgW+x]
+					a2 := plane[y*imgW+x+1]
+					a3 := plane[(y+1)*imgW+x]
+					a4 := plane[(y+1)*imgW+x+1]
+					combineBase(a1, a2, a3, a4, dst, sig)
+					continue
+				}
+				w1 := prev.SigAt((x)/prev.Step, (y)/prev.Step)
+				w2 := prev.SigAt((x+half)/prev.Step, (y)/prev.Step)
+				w3 := prev.SigAt((x)/prev.Step, (y+half)/prev.Step)
+				w4 := prev.SigAt((x+half)/prev.Step, (y+half)/prev.Step)
+				assemble(w1, w2, w3, w4, prev.Sig, dst, sig, sig)
+			}
+		}
+		pyr.levels[win] = g
+		prev = g
+	}
+	if len(pyr.levels) == 0 {
+		return nil, fmt.Errorf("wavelet: image %dx%d too small for any window", imgW, imgH)
+	}
+	return pyr, nil
+}
+
+// combineBase performs one round of horizontal and vertical averaging and
+// differencing on four scalar averages (the base case of procedure
+// computeSingleWindow, Figure 4). sig is 1 or 2: for sig 1 only the overall
+// average is kept.
+func combineBase(a1, a2, a3, a4 float64, dst []float64, sig int) {
+	if sig == 1 {
+		dst[0] = (a1 + a2 + a3 + a4) / 4
+		return
+	}
+	dst[0] = (a1 + a2 + a3 + a4) / 4
+	dst[1] = (-a1 + a2 - a3 + a4) / 4 // horizontal detail
+	dst[sig] = (-a1 - a2 + a3 + a4) / 4
+	dst[sig+1] = (a1 - a2 - a3 + a4) / 4
+}
+
+// assemble implements procedures computeSingleWindow and copyBlocks
+// (Figures 3 and 4): it fills the top-left q×q corner of dst (a block with
+// row stride dstStride) with the wavelet transform of the parent window's
+// averages, given the four children's stored signature blocks w1..w4 (each
+// with row stride childStride, of which the top-left q/2×q/2 corner is
+// consumed). Children are ordered top-left, top-right, bottom-left,
+// bottom-right.
+func assemble(w1, w2, w3, w4 []float64, childStride int, dst []float64, dstStride, q int) {
+	if q == 1 {
+		dst[0] = (w1[0] + w2[0] + w3[0] + w4[0]) / 4
+		return
+	}
+	if q == 2 {
+		combineBase(w1[0], w2[0], w3[0], w4[0], dst, dstStride)
+		return
+	}
+	h := q / 2  // quadrant side in dst
+	hq := q / 4 // quadrant side contributed by each child
+	// copyBlocks: tile the three detail quadrants of dst from the
+	// corresponding detail quadrants of the children.
+	copyQuad := func(src []float64, srcR, srcC, dstR, dstC int) {
+		for r := 0; r < hq; r++ {
+			srcOff := (srcR+r)*childStride + srcC
+			dstOff := (dstR+r)*dstStride + dstC
+			copy(dst[dstOff:dstOff+hq], src[srcOff:srcOff+hq])
+		}
+	}
+	// Child detail quadrants live at rows/cols [0,hq) and [hq,2hq) within
+	// the child's top-left 2hq×2hq effective transform.
+	// Upper-right quadrant of dst (horizontal details).
+	copyQuad(w1, 0, hq, 0, h)
+	copyQuad(w2, 0, hq, 0, h+hq)
+	copyQuad(w3, 0, hq, hq, h)
+	copyQuad(w4, 0, hq, hq, h+hq)
+	// Lower-left quadrant (vertical details).
+	copyQuad(w1, hq, 0, h, 0)
+	copyQuad(w2, hq, 0, h, hq)
+	copyQuad(w3, hq, 0, h+hq, 0)
+	copyQuad(w4, hq, 0, h+hq, hq)
+	// Lower-right quadrant (diagonal details).
+	copyQuad(w1, hq, hq, h, h)
+	copyQuad(w2, hq, hq, h, h+hq)
+	copyQuad(w3, hq, hq, h+hq, h)
+	copyQuad(w4, hq, hq, h+hq, h+hq)
+	assemble(w1, w2, w3, w4, childStride, dst, dstStride, h)
+}
+
+// NaiveSlidingWindows computes the same pyramid as ComputeSlidingWindows by
+// independently applying the full two-dimensional Haar transform to each
+// window (the naive scheme the paper compares against in Section 6.3). Its
+// cost is O(ω² ) per window.
+func NaiveSlidingWindows(plane []float64, imgW, imgH int, params SlidingParams) (*Pyramid, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(plane) != imgW*imgH {
+		return nil, fmt.Errorf("wavelet: plane has %d values, want %d (%dx%d)", len(plane), imgW*imgH, imgW, imgH)
+	}
+	pyr := &Pyramid{ImageW: imgW, ImageH: imgH, Params: params, levels: make(map[int]*Grid)}
+	for win := 2; win <= params.MaxWindow; win *= 2 {
+		if win > imgW || win > imgH {
+			break
+		}
+		dist := min(win, params.Step)
+		sig := min(win, params.Signature)
+		g := &Grid{
+			Window: win,
+			Sig:    sig,
+			Step:   dist,
+			NX:     (imgW-win)/dist + 1,
+			NY:     (imgH-win)/dist + 1,
+		}
+		g.Data = make([]float64, g.NX*g.NY*sig*sig)
+		scratch := NewMatrix(win, win)
+		for iy := 0; iy < g.NY; iy++ {
+			for ix := 0; ix < g.NX; ix++ {
+				x, y := g.PosOf(ix, iy)
+				for r := 0; r < win; r++ {
+					copy(scratch.Data[r*win:(r+1)*win], plane[(y+r)*imgW+x:(y+r)*imgW+x+win])
+				}
+				coeffs, err := Transform2D(scratch)
+				if err != nil {
+					return nil, err
+				}
+				dst := g.SigAt(ix, iy)
+				for r := 0; r < sig; r++ {
+					copy(dst[r*sig:(r+1)*sig], coeffs.Data[r*win:r*win+sig])
+				}
+			}
+		}
+		pyr.levels[win] = g
+	}
+	if len(pyr.levels) == 0 {
+		return nil, fmt.Errorf("wavelet: image %dx%d too small for any window", imgW, imgH)
+	}
+	return pyr, nil
+}
+
+// NaiveWindowSignatures computes signatures for the sliding windows of a
+// single window size by applying the full two-dimensional transform to
+// each window independently — the literal naive scheme of Section 6.3,
+// whose cost O(N·ω²) is independent of the signature size. (The DP
+// algorithm has no single-size variant: it inherently builds every smaller
+// size on the way up, which is exactly the trade the paper measures.)
+func NaiveWindowSignatures(plane []float64, imgW, imgH, window, sig, step int) (*Grid, error) {
+	if !isPow2(window) || window < 2 {
+		return nil, fmt.Errorf("wavelet: window %d must be a power of two >= 2", window)
+	}
+	if !isPow2(step) || step < 1 {
+		return nil, fmt.Errorf("wavelet: step %d must be a power of two >= 1", step)
+	}
+	if window > imgW || window > imgH {
+		return nil, fmt.Errorf("wavelet: window %d exceeds image %dx%d", window, imgW, imgH)
+	}
+	if len(plane) != imgW*imgH {
+		return nil, fmt.Errorf("wavelet: plane has %d values, want %d (%dx%d)", len(plane), imgW*imgH, imgW, imgH)
+	}
+	dist := min(window, step)
+	s := min(window, sig)
+	g := &Grid{
+		Window: window,
+		Sig:    s,
+		Step:   dist,
+		NX:     (imgW-window)/dist + 1,
+		NY:     (imgH-window)/dist + 1,
+	}
+	g.Data = make([]float64, g.NX*g.NY*s*s)
+	scratch := NewMatrix(window, window)
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			x, y := g.PosOf(ix, iy)
+			for r := 0; r < window; r++ {
+				copy(scratch.Data[r*window:(r+1)*window], plane[(y+r)*imgW+x:(y+r)*imgW+x+window])
+			}
+			coeffs, err := Transform2D(scratch)
+			if err != nil {
+				return nil, err
+			}
+			dst := g.SigAt(ix, iy)
+			for r := 0; r < s; r++ {
+				copy(dst[r*s:(r+1)*s], coeffs.Data[r*window:r*window+s])
+			}
+		}
+	}
+	return g, nil
+}
+
+// WindowSignature computes the s×s low-frequency signature of the single
+// ω×ω window rooted at pixel (x, y), by direct transform. It is a
+// convenience for tests and for callers that need one window only.
+func WindowSignature(plane []float64, imgW, imgH, x, y, window, sig int) ([]float64, error) {
+	if !isPow2(window) || window < 2 {
+		return nil, fmt.Errorf("wavelet: window %d must be a power of two >= 2", window)
+	}
+	if x < 0 || y < 0 || x+window > imgW || y+window > imgH {
+		return nil, fmt.Errorf("wavelet: window %d at (%d,%d) exceeds image %dx%d", window, x, y, imgW, imgH)
+	}
+	s := min(window, sig)
+	scratch := NewMatrix(window, window)
+	for r := 0; r < window; r++ {
+		copy(scratch.Data[r*window:(r+1)*window], plane[(y+r)*imgW+x:(y+r)*imgW+x+window])
+	}
+	coeffs, err := Transform2D(scratch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, s*s)
+	for r := 0; r < s; r++ {
+		copy(out[r*s:(r+1)*s], coeffs.Data[r*window:r*window+s])
+	}
+	return out, nil
+}

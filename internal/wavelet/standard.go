@@ -1,0 +1,73 @@
+package wavelet
+
+import "fmt"
+
+// StandardTransform2D computes the standard two-dimensional Haar
+// decomposition: the full one-dimensional transform is applied to every
+// row, then to every column of the result. This is the first of the two
+// 2-D generalizations Section 3.2 describes (WALRUS itself uses the
+// non-standard decomposition of Transform2D; the standard one is provided
+// for completeness and for baselines in the style of Jacobs et al., who
+// used it). The input is not modified.
+func StandardTransform2D(m Matrix) (Matrix, error) {
+	if !m.IsSquarePow2() {
+		return Matrix{}, fmt.Errorf("wavelet: StandardTransform2D requires a square power-of-two matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	w := m.Rows
+	out := m.Clone()
+	// Rows.
+	for r := 0; r < w; r++ {
+		row, err := Transform1D(out.Data[r*w : (r+1)*w])
+		if err != nil {
+			return Matrix{}, err
+		}
+		copy(out.Data[r*w:(r+1)*w], row)
+	}
+	// Columns.
+	col := make([]float64, w)
+	for c := 0; c < w; c++ {
+		for r := 0; r < w; r++ {
+			col[r] = out.At(r, c)
+		}
+		tc, err := Transform1D(col)
+		if err != nil {
+			return Matrix{}, err
+		}
+		for r := 0; r < w; r++ {
+			out.Set(r, c, tc[r])
+		}
+	}
+	return out, nil
+}
+
+// StandardInverse2D undoes StandardTransform2D.
+func StandardInverse2D(coeffs Matrix) (Matrix, error) {
+	if !coeffs.IsSquarePow2() {
+		return Matrix{}, fmt.Errorf("wavelet: StandardInverse2D requires a square power-of-two matrix, got %dx%d", coeffs.Rows, coeffs.Cols)
+	}
+	w := coeffs.Rows
+	out := coeffs.Clone()
+	// Columns first (reverse of the forward order).
+	col := make([]float64, w)
+	for c := 0; c < w; c++ {
+		for r := 0; r < w; r++ {
+			col[r] = out.At(r, c)
+		}
+		ic, err := Inverse1D(col)
+		if err != nil {
+			return Matrix{}, err
+		}
+		for r := 0; r < w; r++ {
+			out.Set(r, c, ic[r])
+		}
+	}
+	// Rows.
+	for r := 0; r < w; r++ {
+		ir, err := Inverse1D(out.Data[r*w : (r+1)*w])
+		if err != nil {
+			return Matrix{}, err
+		}
+		copy(out.Data[r*w:(r+1)*w], ir)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStandardTransform2DRejectsBadShapes(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {2, 4}, {1, 1}} {
+		m := NewMatrix(dims[0], dims[1])
+		if _, err := StandardTransform2D(m); err == nil {
+			t.Errorf("StandardTransform2D accepted %dx%d", dims[0], dims[1])
+		}
+		if _, err := StandardInverse2D(m); err == nil {
+			t.Errorf("StandardInverse2D accepted %dx%d", dims[0], dims[1])
+		}
+	}
+}
+
+func TestStandardInverse2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, size := range []int{2, 4, 16, 64} {
+		m := randomMatrix(rng, size)
+		fw, err := StandardTransform2D(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := StandardInverse2D(fw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slicesAlmostEqual(back.Data, m.Data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+// TestStandardVsNonstandardAverage: both decompositions agree on the
+// overall average (coefficient (0,0)) but differ elsewhere in general.
+func TestStandardVsNonstandardAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	m := randomMatrix(rng, 16)
+	std, err := StandardTransform2D(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := Transform2D(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(std.At(0, 0), non.At(0, 0)) {
+		t.Fatalf("averages differ: %v vs %v", std.At(0, 0), non.At(0, 0))
+	}
+	// The decompositions are genuinely different transforms.
+	same := true
+	for i := range std.Data {
+		if !almostEqual(std.Data[i], non.Data[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("standard and non-standard decompositions coincided on random input")
+	}
+}
+
+// TestStandardTransformConstant: a flat image still collapses to the
+// average with zero details.
+func TestStandardTransformConstant(t *testing.T) {
+	m := NewMatrix(8, 8)
+	for i := range m.Data {
+		m.Data[i] = 2.5
+	}
+	fw, err := StandardTransform2D(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fw.Data {
+		want := 0.0
+		if i == 0 {
+			want = 2.5
+		}
+		if !almostEqual(v, want) {
+			t.Fatalf("coefficient %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestNaiveWindowSignaturesMatchesSliding(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	const w, h = 40, 32
+	plane := randomPlane(rng, w, h)
+	params := SlidingParams{MaxWindow: 16, Signature: 4, Step: 2}
+	pyr, err := ComputeSlidingWindows(plane, w, h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NaiveWindowSignatures(plane, w, h, 16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := pyr.Level(16)
+	if single.NX != grid.NX || single.NY != grid.NY || single.Sig != grid.Sig {
+		t.Fatalf("grid shapes differ: %+v vs %+v", single, grid)
+	}
+	for i := range grid.Data {
+		if !almostEqual(grid.Data[i], single.Data[i]) {
+			t.Fatalf("value %d differs: %v vs %v", i, grid.Data[i], single.Data[i])
+		}
+	}
+}
+
+func TestNaiveWindowSignaturesErrors(t *testing.T) {
+	plane := make([]float64, 64)
+	if _, err := NaiveWindowSignatures(plane, 8, 8, 3, 2, 1); err == nil {
+		t.Error("accepted non-power-of-two window")
+	}
+	if _, err := NaiveWindowSignatures(plane, 8, 8, 16, 2, 1); err == nil {
+		t.Error("accepted window larger than image")
+	}
+	if _, err := NaiveWindowSignatures(plane, 8, 8, 4, 2, 3); err == nil {
+		t.Error("accepted non-power-of-two step")
+	}
+	if _, err := NaiveWindowSignatures(plane, 9, 8, 4, 2, 1); err == nil {
+		t.Error("accepted mismatched plane length")
+	}
+}

@@ -1,0 +1,56 @@
+package wavelet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var benchPlane256 = func() []float64 {
+	rng := rand.New(rand.NewSource(1))
+	p := make([]float64, 256*256)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}()
+
+func BenchmarkTransform2D(b *testing.B) {
+	for _, size := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			m := NewMatrix(size, size)
+			copy(m.Data, benchPlane256[:size*size])
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Transform2D(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComputeSlidingWindows(b *testing.B) {
+	for _, step := range []int{1, 8} {
+		b.Run(fmt.Sprintf("t=%d", step), func(b *testing.B) {
+			params := SlidingParams{MaxWindow: 64, Signature: 2, Step: step}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeSlidingWindows(benchPlane256, 256, 256, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDaubechiesTransform2D(b *testing.B) {
+	m := NewMatrix(128, 128)
+	copy(m.Data, benchPlane256[:128*128])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DaubechiesTransform2D(m, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package walrus
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"walrus/internal/region"
+	"walrus/internal/rstar"
+	"walrus/internal/store"
+)
+
+// File names inside a disk-backed database directory.
+const (
+	indexFileName   = "index.db"
+	catalogFileName = "catalog.gob"
+)
+
+// heapRootSlot is the pager root slot holding the region heap's first
+// page (slots 0-2 belong to the paged R*-tree).
+const heapRootSlot = 3
+
+// persistState holds the disk machinery of a disk-backed DB. The page
+// file carries both the R*-tree nodes and a slotted-page heap with every
+// region's serialized payload (signature, bounding box, bitmap) — the
+// paper stores these "in the index along with the signature of each
+// region" (Section 5.4). The catalog file holds only image metadata and
+// the payload directory.
+type persistState struct {
+	dir  string
+	pg   *store.Pager
+	pool *store.BufferPool
+	ps   *rstar.PagedStore
+	heap *store.HeapFile
+}
+
+// catalogImage is the persisted image metadata (regions live in the heap).
+type catalogImage struct {
+	ID         string
+	W, H       int
+	NumRegions int
+}
+
+// catalogData is the gob-serialized portion of a DB.
+type catalogData struct {
+	Opts   Options
+	Images []catalogImage
+	Refs   []regionRef
+}
+
+// Create creates a disk-backed database in dir (which is created if
+// needed).
+func Create(dir string, opts Options) (*DB, error) {
+	if opts.Index != IndexRStar {
+		return nil, fmt.Errorf("walrus: disk-backed databases support only the %v index backend", IndexRStar)
+	}
+	db, err := prepare(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("walrus: creating %s: %w", dir, err)
+	}
+	pg, err := store.Create(filepath.Join(dir, indexFileName), store.DefaultPageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := store.NewBufferPool(pg, 256)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	ps, err := rstar.NewPagedStore(pg, pool, opts.Region.Dim())
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	tree, err := rstar.New(ps)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	heap, err := store.NewHeapFile(pg, pool, heapRootSlot)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	db.tree = tree
+	db.persist = &persistState{dir: dir, pg: pg, pool: pool, ps: ps, heap: heap}
+	if err := db.Flush(); err != nil {
+		pg.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open reopens a disk-backed database created by Create, rebuilding the
+// in-memory region cache from the heap file.
+func Open(dir string) (*DB, error) {
+	f, err := os.Open(filepath.Join(dir, catalogFileName))
+	if err != nil {
+		return nil, fmt.Errorf("walrus: opening catalog: %w", err)
+	}
+	var cat catalogData
+	err = gob.NewDecoder(f).Decode(&cat)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("walrus: decoding catalog: %w", err)
+	}
+	db, err := prepare(cat.Opts)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := store.Open(filepath.Join(dir, indexFileName))
+	if err != nil {
+		return nil, err
+	}
+	pool, err := store.NewBufferPool(pg, 256)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	ps, err := rstar.NewPagedStore(pg, pool, cat.Opts.Region.Dim())
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	tree, err := rstar.Load(ps)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	heap, err := store.OpenHeapFile(pg, pool, heapRootSlot)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+
+	db.images = make([]imageRecord, len(cat.Images))
+	for i, ci := range cat.Images {
+		db.images[i] = imageRecord{ID: ci.ID, W: ci.W, H: ci.H}
+		if ci.NumRegions > 0 {
+			db.images[i].Regions = make([]region.Region, ci.NumRegions)
+		}
+		if ci.ID != "" {
+			db.byID[ci.ID] = i
+		}
+	}
+	db.refs = cat.Refs
+	for _, ref := range cat.Refs {
+		if ref.Local < 0 {
+			continue
+		}
+		rec, err := heap.Get(store.UnpackRID(ref.RID))
+		if err != nil {
+			pg.Close()
+			return nil, fmt.Errorf("walrus: loading region payload: %w", err)
+		}
+		var r region.Region
+		if err := r.UnmarshalBinary(rec); err != nil {
+			pg.Close()
+			return nil, fmt.Errorf("walrus: decoding region payload: %w", err)
+		}
+		if ref.Image >= len(db.images) || ref.Local >= len(db.images[ref.Image].Regions) {
+			pg.Close()
+			return nil, fmt.Errorf("walrus: catalog region directory is inconsistent")
+		}
+		db.images[ref.Image].Regions[ref.Local] = r
+	}
+
+	db.tree = tree
+	db.persist = &persistState{dir: dir, pg: pg, pool: pool, ps: ps, heap: heap}
+	return db, nil
+}
+
+// Flush writes the catalog and all dirty index pages to disk. It is a
+// no-op for in-memory databases. Flush takes the write lock: concurrent
+// flushes would race on the catalog temp file.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.persist == nil {
+		return nil
+	}
+	cat := catalogData{Opts: db.opts, Refs: db.refs}
+	cat.Images = make([]catalogImage, len(db.images))
+	for i, rec := range db.images {
+		cat.Images[i] = catalogImage{ID: rec.ID, W: rec.W, H: rec.H, NumRegions: len(rec.Regions)}
+	}
+	tmp := filepath.Join(db.persist.dir, catalogFileName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("walrus: writing catalog: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(&cat); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("walrus: encoding catalog: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.persist.dir, catalogFileName)); err != nil {
+		return err
+	}
+	return db.persist.ps.Flush()
+}
+
+// Close flushes and releases a disk-backed database. In-memory databases
+// need no Close, but calling it is harmless.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.persist == nil {
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		db.persist.pg.Close()
+		db.persist = nil
+		return err
+	}
+	err := db.persist.pg.Close()
+	db.persist = nil
+	return err
+}

@@ -1,0 +1,34 @@
+package walrus
+
+import (
+	"fmt"
+
+	"walrus/internal/imgio"
+	"walrus/internal/match"
+)
+
+// QueryScene runs a similarity query using only a user-specified
+// rectangular scene of the query image — the "user-specified scenes" of
+// the system's name. The rectangle is cropped out, regions are extracted
+// from it alone, and candidate images are scored on how much of the
+// *scene* (not the whole query image) their matching regions cover, using
+// the query-only similarity variant of Section 4. This finds images that
+// contain the selected object anywhere, at any size, regardless of what
+// else the query image shows.
+//
+// The rectangle must be at least Options.Region.MinWindow pixels in each
+// dimension.
+func (db *DB) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
+	minW := db.opts.Region.MinWindow
+	if w < minW || h < minW {
+		return nil, QueryStats{}, fmt.Errorf("walrus: scene %dx%d smaller than the minimum window %d", w, h, minW)
+	}
+	crop, err := imgio.Crop(im, x, y, w, h)
+	if err != nil {
+		return nil, QueryStats{}, fmt.Errorf("walrus: cropping scene: %w", err)
+	}
+	// Score by coverage of the scene alone: a target that contains the
+	// whole scene should score near 1 however large the target is.
+	p.Denominator = match.QueryOnly
+	return db.Query(crop, p)
+}

@@ -1,0 +1,407 @@
+// Package walrus implements WALRUS (WAveLet-based Retrieval of
+// User-specified Scenes), the region-based image similarity retrieval
+// system of Natsev, Rastogi and Shim (SIGMOD 1999).
+//
+// A DB decomposes every inserted image into regions — clusters of
+// variable-size sliding windows with similar Haar-wavelet signatures — and
+// indexes each region's signature in an R*-tree. A query image is
+// decomposed the same way; regions of database images whose signatures lie
+// within an epsilon envelope of a query region form matching pairs, and
+// each candidate image is scored by the fraction of the two images' area
+// covered by matching regions (Definition 4.3 of the paper). The model is
+// robust to translation and scaling of individual objects, not just of
+// whole images.
+//
+// Basic usage:
+//
+//	db, _ := walrus.New(walrus.DefaultOptions())
+//	_ = db.Add("img1", img1)                    // *imgio.Image, RGB
+//	matches, stats, _ := db.Query(q, walrus.DefaultQueryParams())
+//
+// Use Create/Open instead of New for a disk-backed database.
+package walrus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"walrus/internal/imgio"
+	"walrus/internal/match"
+	"walrus/internal/region"
+	"walrus/internal/rstar"
+	"walrus/internal/store"
+)
+
+// Options configures a DB at creation time.
+type Options struct {
+	// Region configures region extraction (window sizes, signature size,
+	// clustering epsilon, color space, bitmap resolution).
+	Region region.Options
+	// UseBBox indexes regions by the bounding box of their window
+	// signatures instead of by centroid (the alternative signature of
+	// Section 4 of the paper).
+	UseBBox bool
+	// NodeCapacity is the index node capacity for in-memory databases
+	// (disk-backed databases derive it from the page size). 0 means a
+	// sensible default.
+	NodeCapacity int
+	// Index selects the in-memory index backend: the R*-tree (default) or
+	// the GiST rectangle tree. Disk-backed databases always use the paged
+	// R*-tree.
+	Index IndexBackend
+}
+
+// DefaultOptions mirrors the parameter choices of the paper's retrieval
+// experiments (Section 6.4).
+func DefaultOptions() Options {
+	return Options{Region: region.DefaultOptions(), NodeCapacity: 16}
+}
+
+// QueryParams configures one query.
+type QueryParams struct {
+	// Epsilon is ε, the maximum signature distance between matching
+	// regions (Definition 4.1). The paper's experiments used 0.085.
+	Epsilon float64
+	// Tau is τ, the minimum similarity for an image to be reported
+	// (Definition 4.3). 0 reports every image with any matching region.
+	Tau float64
+	// Matcher selects the image-matching algorithm (quick, greedy, exact).
+	Matcher match.Algorithm
+	// Denominator selects the similarity normalization.
+	Denominator match.Denominator
+	// Limit caps the number of returned matches (0 = unlimited).
+	Limit int
+	// Refine enables the refined matching phase of Section 5.5: candidate
+	// region pairs found by the index probe are re-verified against the
+	// finer signatures stored when Options.Region.FineSignature is set,
+	// trading response time for better-qualified matches. Ignored when the
+	// database stores no fine signatures.
+	Refine bool
+	// RefineEpsilon is the distance bound for the fine-signature check;
+	// 0 means Epsilon scaled by sqrt(fineDim/coarseDim), which keeps the
+	// per-dimension tolerance of the coarse check.
+	RefineEpsilon float64
+}
+
+// DefaultQueryParams returns the paper's query parameters with no
+// similarity threshold and no limit.
+func DefaultQueryParams() QueryParams {
+	return QueryParams{Epsilon: 0.085, Matcher: match.Quick}
+}
+
+// Match is one query result.
+type Match struct {
+	// ID is the image id passed to Add.
+	ID string
+	// Similarity is the matched-area fraction in [0,1].
+	Similarity float64
+	// Pairs is the similar region pair set (query region index, target
+	// region index); nil for the quick matcher.
+	Pairs []match.Pair
+	// MatchingRegions is the number of matching region pairs found by the
+	// index probe for this image.
+	MatchingRegions int
+}
+
+// QueryStats reports the work a query performed — the quantities Table 1
+// of the paper measures.
+type QueryStats struct {
+	// QueryRegions is the number of regions extracted from the query.
+	QueryRegions int
+	// RegionsRetrieved is the total number of matching database regions
+	// over all query regions.
+	RegionsRetrieved int
+	// CandidateImages is the number of distinct images with at least one
+	// matching region.
+	CandidateImages int
+	// Elapsed is the wall-clock query time, including region extraction.
+	Elapsed time.Duration
+	// ExtractTime, ProbeTime and ScoreTime break Elapsed into its phases:
+	// query region extraction, index probes (plus distance filtering), and
+	// image matching/scoring.
+	ExtractTime, ProbeTime, ScoreTime time.Duration
+}
+
+// AvgRegionsPerQueryRegion is Table 1's "Avg. No. of Regions Retrieved".
+func (s QueryStats) AvgRegionsPerQueryRegion() float64 {
+	if s.QueryRegions == 0 {
+		return 0
+	}
+	return float64(s.RegionsRetrieved) / float64(s.QueryRegions)
+}
+
+// imageRecord is the per-image catalog entry.
+type imageRecord struct {
+	ID      string
+	W, H    int
+	Regions []region.Region
+}
+
+// regionRef locates one indexed region: which image, and which region
+// within that image. The R*-tree payload is an index into DB.refs. For
+// disk-backed databases RID is the packed heap-file record id of the
+// region's serialized payload.
+type regionRef struct {
+	Image int
+	Local int
+	RID   uint64
+}
+
+// DB is a WALRUS image database. All exported methods are safe for
+// concurrent use.
+type DB struct {
+	mu   sync.RWMutex
+	opts Options
+	ext  *region.Extractor
+	tree spatialIndex
+
+	images  []imageRecord
+	byID    map[string]int
+	refs    []regionRef
+	persist *persistState // nil for in-memory databases
+}
+
+// New creates an in-memory database.
+func New(opts Options) (*DB, error) {
+	db, err := prepare(opts)
+	if err != nil {
+		return nil, err
+	}
+	capacity := opts.NodeCapacity
+	if capacity == 0 {
+		capacity = 16
+	}
+	switch opts.Index {
+	case IndexRStar:
+		ms, err := rstar.NewMemStore(opts.Region.Dim(), capacity)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := rstar.New(ms)
+		if err != nil {
+			return nil, err
+		}
+		db.tree = tree
+	case IndexGiST:
+		gi, err := newGistIndex(opts.Region.Dim(), capacity)
+		if err != nil {
+			return nil, err
+		}
+		db.tree = gi
+	default:
+		return nil, fmt.Errorf("walrus: unknown index backend %v", opts.Index)
+	}
+	return db, nil
+}
+
+func prepare(opts Options) (*DB, error) {
+	ext, err := region.NewExtractor(opts.Region)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{opts: opts, ext: ext, byID: make(map[string]int)}, nil
+}
+
+// Options returns the database configuration.
+func (db *DB) Options() Options { return db.opts }
+
+// Len returns the number of indexed images.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byID)
+}
+
+// NumRegions returns the number of live indexed regions.
+func (db *DB) NumRegions() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, ref := range db.refs {
+		if ref.Local >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Add extracts regions from an RGB image and indexes them under id.
+// Adding an id twice is an error; use Remove first to replace an image.
+func (db *DB) Add(id string, im *imgio.Image) error {
+	regions, err := db.ext.Extract(im)
+	if err != nil {
+		return fmt.Errorf("walrus: extracting regions of %q: %w", id, err)
+	}
+	return db.addExtracted(id, im, regions)
+}
+
+// signatureRect builds the index key for a region: its centroid point, or
+// its signature bounding box when UseBBox is set.
+func (db *DB) signatureRect(r region.Region) rstar.Rect {
+	if db.opts.UseBBox {
+		rect, err := rstar.NewRect(r.Min, r.Max)
+		if err == nil {
+			return rect
+		}
+	}
+	return rstar.Point(r.Signature)
+}
+
+// Query decomposes an RGB image into regions, probes the index with each
+// region's epsilon envelope, scores every candidate image, and returns
+// matches with similarity >= p.Tau sorted by decreasing similarity.
+func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
+	start := time.Now()
+	if p.Epsilon < 0 {
+		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
+	}
+	qRegions, err := db.ext.Extract(im)
+	if err != nil {
+		return nil, QueryStats{}, fmt.Errorf("walrus: extracting query regions: %w", err)
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: time.Since(start)}
+	probeStart := time.Now()
+	// pairsByImage[img] holds the matching (query region, target region)
+	// pairs discovered by the index probes.
+	pairsByImage := make(map[int][]match.Pair)
+	for qi, qr := range qRegions {
+		probe := db.signatureRect(qr).Expand(p.Epsilon)
+		entries, err := db.tree.SearchAll(probe)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, e := range entries {
+			ref := db.refs[e.Data]
+			target := db.images[ref.Image].Regions[ref.Local]
+			// Centroid signatures use euclidean distance (the paper's
+			// metric); the box probe over-approximates the euclidean ball,
+			// so filter. Bounding-box signatures match by box overlap,
+			// which the probe tests exactly.
+			if !db.opts.UseBBox && euclid(qr.Signature, target.Signature) > p.Epsilon {
+				continue
+			}
+			// Refined matching phase (Section 5.5): re-verify the pair with
+			// the finer signatures when available.
+			if p.Refine && qr.Fine != nil && target.Fine != nil {
+				bound := p.RefineEpsilon
+				if bound == 0 {
+					bound = p.Epsilon * math.Sqrt(float64(len(qr.Fine))/float64(len(qr.Signature)))
+				}
+				if euclid(qr.Fine, target.Fine) > bound {
+					continue
+				}
+			}
+			pairsByImage[ref.Image] = append(pairsByImage[ref.Image], match.Pair{Q: qi, T: ref.Local})
+			stats.RegionsRetrieved++
+		}
+	}
+	stats.CandidateImages = len(pairsByImage)
+	stats.ProbeTime = time.Since(probeStart)
+	scoreStart := time.Now()
+
+	scoreOpts := match.Options{Algorithm: p.Matcher, Denominator: p.Denominator}
+	matches := make([]Match, 0, len(pairsByImage))
+	for imgIdx, pairs := range pairsByImage {
+		rec := db.images[imgIdx]
+		res, err := match.Score(qRegions, rec.Regions, pairs, im.W*im.H, rec.W*rec.H, scoreOpts)
+		if err != nil {
+			return nil, stats, err
+		}
+		if res.Similarity < p.Tau {
+			continue
+		}
+		matches = append(matches, Match{
+			ID:              rec.ID,
+			Similarity:      res.Similarity,
+			Pairs:           res.Pairs,
+			MatchingRegions: len(pairs),
+		})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Similarity != matches[j].Similarity {
+			return matches[i].Similarity > matches[j].Similarity
+		}
+		return matches[i].ID < matches[j].ID
+	})
+	if p.Limit > 0 && len(matches) > p.Limit {
+		matches = matches[:p.Limit]
+	}
+	stats.ScoreTime = time.Since(scoreStart)
+	stats.Elapsed = time.Since(start)
+	return matches, stats, nil
+}
+
+// Remove deletes an image and its regions from the database. It reports
+// whether the id was present. The image's slot in the internal catalog is
+// retired, not compacted.
+func (db *DB) Remove(id string) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	imgIdx, ok := db.byID[id]
+	if !ok {
+		return false, nil
+	}
+	for payload, ref := range db.refs {
+		if ref.Image != imgIdx || ref.Local < 0 {
+			continue
+		}
+		r := db.images[imgIdx].Regions[ref.Local]
+		removed, err := db.tree.Delete(db.signatureRect(r), int64(payload))
+		if err != nil {
+			return false, err
+		}
+		if !removed {
+			return false, fmt.Errorf("walrus: region of %q missing from index", id)
+		}
+		if db.persist != nil {
+			if err := db.persist.heap.Delete(store.UnpackRID(db.refs[payload].RID)); err != nil {
+				return false, err
+			}
+		}
+		db.refs[payload].Local = -1 // tombstone
+	}
+	delete(db.byID, id)
+	db.images[imgIdx].Regions = nil
+	db.images[imgIdx].ID = ""
+	return true, nil
+}
+
+// IDs returns the ids of all indexed images in insertion order.
+func (db *DB) IDs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byID))
+	for _, rec := range db.images {
+		if rec.ID != "" {
+			out = append(out, rec.ID)
+		}
+	}
+	return out
+}
+
+// RegionsOf returns the regions extracted for an indexed image.
+func (db *DB) RegionsOf(id string) ([]region.Region, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idx, ok := db.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return db.images[idx].Regions, true
+}
+
+func euclid(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
