@@ -2,10 +2,9 @@ package walrus
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"walrus/internal/imgio"
+	"walrus/internal/parallel"
 	"walrus/internal/region"
 )
 
@@ -16,52 +15,33 @@ type BatchItem struct {
 }
 
 // AddBatch indexes many images, running the expensive region extraction on
-// up to workers goroutines (0 = GOMAXPROCS) while keeping index insertion
-// ordered and serialized. It stops at the first error; items before the
-// failing one remain indexed.
+// up to workers goroutines (0 = the database's Parallelism option, itself
+// defaulting to GOMAXPROCS) while keeping index insertion ordered and
+// serialized — the resulting database is identical for every worker
+// count. It stops at the first error; items before the failing one remain
+// indexed.
 func (db *DB) AddBatch(items []BatchItem, workers int) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	if len(items) == 0 {
-		return nil
-	}
-
-	type extracted struct {
-		regions []region.Region
-		err     error
-	}
-	results := make([]extracted, len(items))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				regions, err := db.ext.Extract(items[i].Image)
-				results[i] = extracted{regions: regions, err: err}
-			}
-		}()
-	}
-	for i := range items {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
+	regions, errs := db.extractAll(items, workers)
 	for i, it := range items {
-		if results[i].err != nil {
-			return fmt.Errorf("walrus: extracting regions of %q: %w", it.ID, results[i].err)
+		if errs[i] != nil {
+			return fmt.Errorf("walrus: extracting regions of %q: %w", it.ID, errs[i])
 		}
-		if err := db.addExtracted(it.ID, it.Image, results[i].regions); err != nil {
+		if err := db.addExtracted(it.ID, it.Image, regions[i]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// extractAll runs region extraction for every item on the resolved worker
+// pool and returns the per-item region sets and errors in item order.
+func (db *DB) extractAll(items []BatchItem, workers int) ([][]region.Region, []error) {
+	extracted := make([][]region.Region, len(items))
+	errs := make([]error, len(items))
+	parallel.For(len(items), db.ingestWorkers(workers), func(i int) {
+		extracted[i], errs[i] = db.ext.Extract(items[i].Image)
+	})
+	return extracted, errs
 }
 
 // addExtracted is Add's insertion half, reused by AddBatch.

@@ -2,16 +2,14 @@ package walrus
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
-	"walrus/internal/region"
 	"walrus/internal/rstar"
 )
 
 // BuildFrom constructs a fresh in-memory database from a whole collection
-// at once: region extraction runs on up to workers goroutines (0 =
-// GOMAXPROCS) and the R*-tree is bulk-loaded with Sort-Tile-Recursive
+// at once: region extraction runs on up to workers goroutines (0 = the
+// Parallelism option, itself defaulting to GOMAXPROCS) and the R*-tree is
+// bulk-loaded with Sort-Tile-Recursive
 // packing instead of one insert per region, which is both faster and
 // yields a better-clustered index than incremental insertion. Use this
 // for the initial indexing pass the paper describes ("indexing of images
@@ -25,33 +23,7 @@ func BuildFrom(opts Options, items []BatchItem, workers int) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-
-	extracted := make([][]region.Region, len(items))
-	errs := make([]error, len(items))
-	if len(items) > 0 {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					extracted[i], errs[i] = db.ext.Extract(items[i].Image)
-				}
-			}()
-		}
-		for i := range items {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	extracted, errs := db.extractAll(items, workers)
 
 	var rects []rstar.Rect
 	var payloads []int64
@@ -101,33 +73,7 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-
-	extracted := make([][]region.Region, len(items))
-	errs := make([]error, len(items))
-	if len(items) > 0 {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					extracted[i], errs[i] = db.ext.Extract(items[i].Image)
-				}
-			}()
-		}
-		for i := range items {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	extracted, errs := db.extractAll(items, workers)
 
 	var rects []rstar.Rect
 	var payloads []int64

@@ -1,0 +1,33 @@
+#!/bin/sh
+# CI gate for the WALRUS repo. Tiers:
+#   1. formatting + static analysis (gofmt, go vet)
+#   2. build
+#   3. race tier: go test -race -short — runs the concurrency stress
+#      tests (mixed Add/Query/Remove) under the race detector on every PR
+#   4. full test suite
+# A short smoke run of the PPM fuzz target can be added locally with:
+#   go test -fuzz FuzzDecodePPM -fuzztime 30s ./internal/imgio
+set -eu
+cd "$(dirname "$0")"
+
+echo "== tier 0: gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== tier 0: go vet =="
+go vet ./...
+
+echo "== tier 1: build =="
+go build ./...
+
+echo "== tier 1: race (short) =="
+go test -race -short ./...
+
+echo "== tier 1: full tests =="
+go test ./...
+
+echo "CI OK"

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("walrus-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, all")
+		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, all")
 		imgSize = flag.Int("image-size", 256, "image side for Figure 6 (paper: 256)")
 		maxWin  = flag.Int("max-window", 128, "largest window for Figure 6(a) (paper: 128)")
 		maxSig  = flag.Int("max-signature", 32, "largest signature for Figure 6(b) (paper: 32)")
@@ -34,6 +34,7 @@ func main() {
 		seed    = flag.Int64("seed", 1999, "dataset seed")
 		topK    = flag.Int("k", 14, "result count for Figures 7/8 (paper: 14)")
 		regimgs = flag.Int("region-images", 6, "images sampled for the §6.6 region-count sweep")
+		par     = flag.Int("parallelism", 0, "worker pool size for the parallel experiment (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if !isKnown(*exp) {
@@ -61,7 +62,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon")
+	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel")
 	if !needDataset {
 		return
 	}
@@ -141,6 +142,19 @@ func main() {
 		}
 	}
 
+	if want("parallel") {
+		fmt.Fprintln(out, "== Parallel pipeline: ingest speedup and query determinism ==")
+		rows, identical, err := experiments.ParallelSpeedup(ds, cfg.Options, *par)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintParallel(out, rows, identical)
+		if !identical {
+			log.Fatal("parallel and serial query results differ")
+		}
+		fmt.Fprintln(out)
+	}
+
 	if want("indexing") {
 		fmt.Fprintln(out, "== Indexing throughput: sequential vs parallel vs STR bulk load ==")
 		rows, err := experiments.IndexingThroughput(ds, cfg.Options)
@@ -195,7 +209,7 @@ func main() {
 }
 
 func isKnown(e string) bool {
-	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon all") {
+	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel all") {
 		if e == k {
 			return true
 		}

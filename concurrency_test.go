@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"walrus/internal/imgio"
 )
 
 // TestConcurrentQueries: many goroutines query the same database while
@@ -67,6 +69,145 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 	if len(matches) == 0 {
 		t.Fatal("no matches after concurrent load")
+	}
+}
+
+// TestConcurrentMixedOracle runs adds, removes and queries concurrently
+// over a seeded corpus, then checks the surviving database answers queries
+// exactly like a serially built oracle containing the same final image
+// set. It is short-mode friendly and meant to run under -race in CI.
+func TestConcurrentMixedOracle(t *testing.T) {
+	type item struct {
+		id string
+		im *imgio.Image
+	}
+	var seeds, added []item
+	for i := 0; i < 8; i++ {
+		seeds = append(seeds, item{fmt.Sprintf("seed-%d", i), scene(green, red, (i*9)%70, (i*13)%70, 40)})
+	}
+	for i := 0; i < 6; i++ {
+		added = append(added, item{fmt.Sprintf("new-%d", i), scene(gray, blue, (i*11)%70, (i*7)%70, 44)})
+	}
+	removed := []string{"seed-1", "seed-4", "seed-6"}
+
+	db, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seeds {
+		if err := db.Add(s.id, s.im); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	queries := []*imgio.Image{
+		scene(green, red, 20, 20, 40),
+		scene(gray, blue, 30, 30, 44),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Adders: two goroutines insert disjoint halves of the new images.
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := g; i < len(added); i += 2 {
+				if err := db.Add(added[i].id, added[i].im); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Remover: deletes a fixed subset of the seeds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, id := range removed {
+			if _, err := db.Remove(id); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Queriers: hammer reads (parallel and serial execution) while the
+	// writers run.
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := DefaultQueryParams()
+			p.Parallelism = g % 3 // mix of GOMAXPROCS, serial, and 2-way
+			for i := 0; i < 8; i++ {
+				if _, _, err := db.Query(queries[i%len(queries)], p); err != nil {
+					errs <- err
+					return
+				}
+				db.Stats()
+				db.RegionsOf(seeds[0].id)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Serial oracle over the expected final image set.
+	oracle, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := make(map[string]bool)
+	for _, id := range removed {
+		gone[id] = true
+	}
+	want := 0
+	for _, s := range seeds {
+		if gone[s.id] {
+			continue
+		}
+		if err := oracle.Add(s.id, s.im); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	for _, a := range added {
+		if err := oracle.Add(a.id, a.im); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	if db.Len() != want {
+		t.Fatalf("Len = %d after mixed workload, want %d", db.Len(), want)
+	}
+
+	// Every query must rank identically: the probe returns all regions in
+	// the epsilon ball regardless of index construction order, and the
+	// quick matcher's bitmap arithmetic is order-independent.
+	for qi, q := range queries {
+		p := DefaultQueryParams()
+		got, _, err := db.Query(q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Parallelism = 1
+		wantMatches, _, err := oracle.Query(q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(wantMatches) {
+			t.Fatalf("query %d: %d matches, oracle found %d", qi, len(got), len(wantMatches))
+		}
+		for i := range got {
+			if got[i].ID != wantMatches[i].ID || got[i].Similarity != wantMatches[i].Similarity {
+				t.Fatalf("query %d rank %d: got %s/%v, oracle %s/%v",
+					qi, i, got[i].ID, got[i].Similarity, wantMatches[i].ID, wantMatches[i].Similarity)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+package walrus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"walrus/internal/imgio"
+)
+
+// corpus50 builds a seeded 50-image corpus of synthetic scenes with varied
+// object positions, sizes and colors.
+func corpus50(t *testing.T) []BatchItem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	palette := [][2][3]float64{
+		{green, red}, {gray, blue}, {green, yellow}, {gray, red}, {blue, yellow},
+	}
+	items := make([]BatchItem, 50)
+	for i := range items {
+		p := palette[i%len(palette)]
+		side := 32 + rng.Intn(48)
+		x := rng.Intn(128 - side)
+		y := rng.Intn(128 - side)
+		items[i] = BatchItem{
+			ID:    fmt.Sprintf("corpus-%02d", i),
+			Image: scene(p[0], p[1], x, y, side),
+		}
+	}
+	return items
+}
+
+// assertSameRanking fails unless two databases rank a query identically —
+// same ids, similarities, and matching-region counts in the same order.
+func assertSameRanking(t *testing.T, label string, a, b *DB, q *imgio.Image, pa, pb QueryParams) {
+	t.Helper()
+	ma, sa, err := a.Query(q, pa)
+	if err != nil {
+		t.Fatalf("%s: serial query: %v", label, err)
+	}
+	mb, sb, err := b.Query(q, pb)
+	if err != nil {
+		t.Fatalf("%s: parallel query: %v", label, err)
+	}
+	if sa.RegionsRetrieved != sb.RegionsRetrieved || sa.CandidateImages != sb.CandidateImages {
+		t.Fatalf("%s: stats differ: retrieved %d/%d candidates %d/%d",
+			label, sa.RegionsRetrieved, sb.RegionsRetrieved, sa.CandidateImages, sb.CandidateImages)
+	}
+	if len(ma) != len(mb) {
+		t.Fatalf("%s: %d matches vs %d", label, len(ma), len(mb))
+	}
+	for i := range ma {
+		if ma[i].ID != mb[i].ID || ma[i].Similarity != mb[i].Similarity ||
+			ma[i].MatchingRegions != mb[i].MatchingRegions {
+			t.Fatalf("%s: rank %d differs: %+v vs %+v", label, i, ma[i], mb[i])
+		}
+	}
+}
+
+// TestAddBatchParallelDeterminism: ingesting the corpus with one worker and
+// with four workers must produce databases that rank every query
+// identically — the ordered-merge guarantee of the parallel pipeline.
+func TestAddBatchParallelDeterminism(t *testing.T) {
+	items := corpus50(t)
+	serialOpts := testOptions()
+	serialOpts.Parallelism = 1
+	serial, err := New(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.AddBatch(items, 1); err != nil {
+		t.Fatal(err)
+	}
+	parOpts := testOptions()
+	parOpts.Parallelism = 4
+	par, err := New(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.AddBatch(items, 4); err != nil {
+		t.Fatal(err)
+	}
+	ps := DefaultQueryParams()
+	ps.Parallelism = 1
+	pp := DefaultQueryParams()
+	pp.Parallelism = 4
+	for _, q := range []*imgio.Image{items[0].Image, items[7].Image, scene(green, red, 24, 24, 40)} {
+		assertSameRanking(t, "AddBatch", serial, par, q, ps, pp)
+	}
+}
+
+// TestBuildFromParallelDeterminism: the STR bulk-load path has the same
+// guarantee.
+func TestBuildFromParallelDeterminism(t *testing.T) {
+	items := corpus50(t)
+	serialOpts := testOptions()
+	serialOpts.Parallelism = 1
+	serial, err := BuildFrom(serialOpts, items, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := testOptions()
+	parOpts.Parallelism = 4
+	par, err := BuildFrom(parOpts, items, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := DefaultQueryParams()
+	ps.Parallelism = 1
+	pp := DefaultQueryParams()
+	pp.Parallelism = 4
+	for _, q := range []*imgio.Image{items[3].Image, scene(gray, blue, 40, 40, 44)} {
+		assertSameRanking(t, "BuildFrom", serial, par, q, ps, pp)
+	}
+}
+
+// TestQueryParallelismDeterminism: on one database, every Parallelism
+// setting must return the same matches and stats.
+func TestQueryParallelismDeterminism(t *testing.T) {
+	items := corpus50(t)
+	db, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddBatch(items, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := items[11].Image
+	for _, par := range []int{0, 2, 4, 16} {
+		ps := DefaultQueryParams()
+		ps.Parallelism = 1
+		pp := DefaultQueryParams()
+		pp.Parallelism = par
+		assertSameRanking(t, fmt.Sprintf("Parallelism=%d", par), db, db, q, ps, pp)
+	}
+}

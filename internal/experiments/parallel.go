@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"walrus"
+	"walrus/internal/dataset"
+	"walrus/internal/parallel"
+)
+
+// ParallelRow reports ingest cost at one worker-pool size.
+type ParallelRow struct {
+	Workers      int
+	Elapsed      time.Duration
+	ImagesPerSec float64
+	Speedup      float64 // relative to the 1-worker row
+}
+
+// ParallelSpeedup measures ingest throughput (AddBatch over the whole
+// dataset) at parallelism 1 versus the requested pool size, and verifies
+// that the two databases answer a query identically — the determinism
+// guarantee the parallel pipeline makes. parallelism <= 0 means
+// GOMAXPROCS. The boolean reports whether the query results matched.
+func ParallelSpeedup(ds *dataset.Dataset, opts walrus.Options, parallelism int) ([]ParallelRow, bool, error) {
+	items := make([]walrus.BatchItem, len(ds.Items))
+	for i, it := range ds.Items {
+		items[i] = walrus.BatchItem{ID: it.ID, Image: it.Image}
+	}
+	if len(items) == 0 {
+		return nil, false, fmt.Errorf("experiments: empty dataset")
+	}
+
+	build := func(workers int) (*walrus.DB, time.Duration, error) {
+		o := opts
+		o.Parallelism = workers
+		db, err := walrus.New(o)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		if err := db.AddBatch(items, workers); err != nil {
+			return nil, 0, err
+		}
+		return db, time.Since(start), nil
+	}
+
+	serialDB, serialElapsed, err := build(1)
+	if err != nil {
+		return nil, false, err
+	}
+	workers := parallel.Workers(parallelism)
+	parDB, parElapsed, err := build(workers)
+	if err != nil {
+		return nil, false, err
+	}
+
+	rate := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(len(items)) / d.Seconds()
+	}
+	rows := []ParallelRow{
+		{Workers: 1, Elapsed: serialElapsed, ImagesPerSec: rate(serialElapsed), Speedup: 1},
+		{Workers: workers, Elapsed: parElapsed, ImagesPerSec: rate(parElapsed),
+			Speedup: serialElapsed.Seconds() / parElapsed.Seconds()},
+	}
+
+	// Same query against both databases, serial vs parallel execution: the
+	// rankings must agree exactly.
+	q := ds.Items[0].Image
+	sp := walrus.DefaultQueryParams()
+	sp.Parallelism = 1
+	serialMatches, _, err := serialDB.Query(q, sp)
+	if err != nil {
+		return rows, false, err
+	}
+	pp := walrus.DefaultQueryParams()
+	pp.Parallelism = workers
+	parMatches, _, err := parDB.Query(q, pp)
+	if err != nil {
+		return rows, false, err
+	}
+	identical := len(serialMatches) == len(parMatches)
+	if identical {
+		for i := range serialMatches {
+			if serialMatches[i].ID != parMatches[i].ID ||
+				serialMatches[i].Similarity != parMatches[i].Similarity {
+				identical = false
+				break
+			}
+		}
+	}
+	return rows, identical, nil
+}
+
+// PrintParallel renders the ingest speedup comparison.
+func PrintParallel(w io.Writer, rows []ParallelRow, identical bool) {
+	fmt.Fprintln(w, "Ingest throughput: serial vs parallel AddBatch")
+	fmt.Fprintf(w, "%8s %14s %12s %9s\n", "workers", "elapsed", "images/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %14s %12.2f %8.2fx\n",
+			r.Workers, r.Elapsed.Round(time.Millisecond), r.ImagesPerSec, r.Speedup)
+	}
+	if identical {
+		fmt.Fprintln(w, "query results: identical across parallelism settings")
+	} else {
+		fmt.Fprintln(w, "query results: MISMATCH between parallelism settings")
+	}
+}

@@ -1,0 +1,65 @@
+package imgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodePPM drives the PPM/PGM codec with arbitrary bytes: malformed
+// headers, truncated rasters and overflow-sized dimensions must produce an
+// error or a structurally valid image — never a panic or an allocation
+// proportional to header-claimed (rather than actual) input size. Every
+// successfully decoded image must survive an encode/decode round trip.
+func FuzzDecodePPM(f *testing.F) {
+	// Valid binary and ASCII images of both channel counts.
+	var p6 bytes.Buffer
+	im := New(3, 2, 3)
+	im.SetRGB(0, 0, 1, 0.5, 0)
+	im.SetRGB(2, 1, 0, 0.25, 1)
+	if err := EncodePPM(&p6, im); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(p6.Bytes())
+	var p5 bytes.Buffer
+	if err := EncodePPM(&p5, New(4, 4, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(p5.Bytes())
+	f.Add([]byte("P2\n2 2\n255\n0 128\n255 64\n"))
+	f.Add([]byte("P3\n1 2\n255\n1 2 3\n4 5 6\n"))
+	// Comments, 16-bit samples, and pathological headers.
+	f.Add([]byte("P5\n# comment\n2 2\n65535\n\x00\x01\x02\x03\x04\x05\x06\x07"))
+	f.Add([]byte("P6\n10000000 10000000\n255\n"))                // dims overflow the sanity cap
+	f.Add([]byte("P6\n67108864 1\n255\nxx"))                     // huge row, truncated raster
+	f.Add([]byte("P6\n2 2\n255\nab"))                            // truncated binary raster
+	f.Add([]byte("P2\n3 3\n255\n1 2 3"))                         // truncated ASCII raster
+	f.Add([]byte("P6\n2 -2\n255\n"))                             // negative dimension
+	f.Add([]byte("P6\n2 2\n0\n"))                                // zero max value
+	f.Add([]byte("P7\n2 2\n255\n" + strings.Repeat("\x00", 12))) // unknown magic
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodePPM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := im.Validate(); err != nil {
+			t.Fatalf("decoded image fails Validate: %v", err)
+		}
+		if im.W*im.H > 1<<26 {
+			t.Fatalf("decoded image exceeds the dimension cap: %dx%d", im.W, im.H)
+		}
+		var buf bytes.Buffer
+		if err := EncodePPM(&buf, im); err != nil {
+			t.Fatalf("re-encoding decoded %dx%dx%d image: %v", im.W, im.H, im.C, err)
+		}
+		back, err := DecodePPM(&buf)
+		if err != nil {
+			t.Fatalf("decoding re-encoded image: %v", err)
+		}
+		if back.W != im.W || back.H != im.H || back.C != im.C {
+			t.Fatalf("round trip changed shape: %dx%dx%d -> %dx%dx%d",
+				im.W, im.H, im.C, back.W, back.H, back.C)
+		}
+	})
+}

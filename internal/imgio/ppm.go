@@ -77,17 +77,27 @@ func DecodePPM(r io.Reader) (*Image, error) {
 	if maxVal <= 0 || maxVal > 65535 {
 		return nil, fmt.Errorf("imgio: unsupported PPM max value %d", maxVal)
 	}
-	im := New(w, h, channels)
+	// The raster is buffered incrementally and the image allocated only
+	// once it has arrived in full, so a tiny truncated file with huge
+	// header dimensions cannot force a huge allocation: memory stays
+	// proportional to the data actually present.
 	scale := 1 / float64(maxVal)
 	if ascii {
+		vals := make([]float64, 0, 1024)
+		for i := 0; i < w*h*channels; i++ {
+			v, err := ppmInt(br)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, float64(v)*scale)
+		}
+		im := New(w, h, channels)
+		i := 0
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
 				for c := 0; c < channels; c++ {
-					v, err := ppmInt(br)
-					if err != nil {
-						return nil, err
-					}
-					im.Set(c, x, y, float64(v)*scale)
+					im.Set(c, x, y, vals[i])
+					i++
 				}
 			}
 		}
@@ -99,19 +109,30 @@ func DecodePPM(r io.Reader) (*Image, error) {
 	if maxVal > 255 {
 		bytesPer = 2
 	}
-	buf := make([]byte, w*channels*bytesPer)
-	for y := 0; y < h; y++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("imgio: reading PPM row %d: %w", y, err)
+	rowBytes := w * channels * bytesPer
+	total := h * rowBytes
+	const chunkSize = 1 << 16
+	raster := make([]byte, 0, min(total, chunkSize))
+	chunk := make([]byte, min(total, chunkSize))
+	for read := 0; read < total; {
+		n := min(total-read, chunkSize)
+		if _, err := io.ReadFull(br, chunk[:n]); err != nil {
+			return nil, fmt.Errorf("imgio: reading PPM raster at byte %d of %d: %w", read, total, err)
 		}
+		raster = append(raster, chunk[:n]...)
+		read += n
+	}
+	im := New(w, h, channels)
+	for y := 0; y < h; y++ {
+		row := raster[y*rowBytes:]
 		for x := 0; x < w; x++ {
 			for c := 0; c < channels; c++ {
 				i := (x*channels + c) * bytesPer
 				var v int
 				if bytesPer == 1 {
-					v = int(buf[i])
+					v = int(row[i])
 				} else {
-					v = int(buf[i])<<8 | int(buf[i+1])
+					v = int(row[i])<<8 | int(row[i+1])
 				}
 				im.Set(c, x, y, float64(v)*scale)
 			}

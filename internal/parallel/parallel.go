@@ -1,0 +1,73 @@
+// Package parallel provides the bounded worker pools WALRUS's hot paths
+// fan work across: sliding-window DP rows, per-image region extraction in
+// batch ingest, and per-query-region index probes. Every helper takes the
+// same knob: workers <= 0 means one worker per logical CPU (GOMAXPROCS),
+// 1 forces the serial path, and any other value bounds the pool at that
+// size. Work items are claimed dynamically from a shared counter, so
+// uneven item costs still balance across the pool; callers that need
+// deterministic output write results into per-index slots and merge in
+// index order afterwards.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values <= 0 mean GOMAXPROCS,
+// anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines
+// (resolved by Workers) and returns when all calls have finished. With
+// one worker — or one item — it degrades to a plain loop on the calling
+// goroutine, so the serial path has zero scheduling overhead.
+func For(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the error of the lowest-indexed failing call, or nil. All items
+// run regardless of failures, so the returned error is deterministic — the
+// same one the serial loop would have hit first.
+func ForErr(n, workers int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,11 +2,11 @@ package region
 
 import (
 	"fmt"
-	"sync"
 
 	"walrus/internal/birch"
 	"walrus/internal/colorspace"
 	"walrus/internal/imgio"
+	"walrus/internal/parallel"
 	"walrus/internal/wavelet"
 )
 
@@ -44,6 +44,12 @@ type Options struct {
 	// reassigning every window to its nearest cluster centroid. This
 	// removes insertion-order sensitivity at the cost of extra passes.
 	RefineIterations int
+	// Workers bounds the goroutines used inside one extraction: the
+	// per-channel wavelet pyramids run concurrently and each pyramid fans
+	// its DP rows across the same pool. 0 uses GOMAXPROCS, 1 reproduces
+	// the fully serial computation. The extracted regions are identical
+	// for every setting.
+	Workers int
 	// FineSignature, when nonzero, additionally stores a finer
 	// FineSignature×FineSignature low band per channel with every region,
 	// enabling the refined matching phase of Section 5.5 (re-verifying
@@ -85,6 +91,9 @@ func (o Options) Validate() error {
 	}
 	if o.RefineIterations < 0 {
 		return fmt.Errorf("region: negative RefineIterations %d", o.RefineIterations)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("region: negative Workers %d", o.Workers)
 	}
 	if o.FineSignature != 0 {
 		if o.FineSignature <= o.Signature || o.FineSignature > o.MinWindow || o.FineSignature&(o.FineSignature-1) != 0 {
@@ -221,19 +230,14 @@ func (e *Extractor) windowSignatures(im *imgio.Image) (points, fines [][]float64
 	if e.opts.FineSignature > computeSig {
 		computeSig = e.opts.FineSignature
 	}
-	params := wavelet.SlidingParams{MaxWindow: maxWin, Signature: computeSig, Step: e.opts.Step}
-	// The per-channel pyramids are independent; compute them concurrently.
+	params := wavelet.SlidingParams{MaxWindow: maxWin, Signature: computeSig, Step: e.opts.Step, Workers: e.opts.Workers}
+	// The per-channel pyramids are independent; compute them concurrently
+	// (each additionally fans its DP rows across params.Workers).
 	pyramids := make([]*wavelet.Pyramid, im.C)
 	chErrs := make([]error, im.C)
-	var wg sync.WaitGroup
-	for c := 0; c < im.C; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			pyramids[c], chErrs[c] = wavelet.ComputeSlidingWindows(im.Plane(c), im.W, im.H, params)
-		}(c)
-	}
-	wg.Wait()
+	parallel.For(im.C, e.opts.Workers, func(c int) {
+		pyramids[c], chErrs[c] = wavelet.ComputeSlidingWindows(im.Plane(c), im.W, im.H, params)
+	})
 	for _, err := range chErrs {
 		if err != nil {
 			return nil, nil, nil, err

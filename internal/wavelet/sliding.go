@@ -1,6 +1,10 @@
 package wavelet
 
-import "fmt"
+import (
+	"fmt"
+
+	"walrus/internal/parallel"
+)
 
 // SlidingParams configures sliding-window signature computation
 // (procedure computeSlidingWindows, Figure 5 of the paper).
@@ -17,6 +21,11 @@ type SlidingParams struct {
 	// window size ω is min(ω, t), which keeps subwindow positions aligned
 	// with the previous level. Must be a power of two.
 	Step int
+	// Workers bounds the goroutines the DP fans each level's window rows
+	// across: 0 uses GOMAXPROCS, 1 reproduces the serial computation.
+	// Every window's signature is assembled independently from the
+	// previous level, so the output is bitwise identical for any setting.
+	Workers int
 }
 
 // Validate checks that all parameters are powers of two within sane bounds.
@@ -30,9 +39,15 @@ func (p SlidingParams) Validate() error {
 		return fmt.Errorf("wavelet: Signature %d exceeds MaxWindow %d", p.Signature, p.MaxWindow)
 	case !isPow2(p.Step) || p.Step < 1:
 		return fmt.Errorf("wavelet: Step %d must be a power of two >= 1", p.Step)
+	case p.Workers < 0:
+		return fmt.Errorf("wavelet: negative Workers %d", p.Workers)
 	}
 	return nil
 }
+
+// minParallelWindows is the smallest per-level window count worth fanning
+// across goroutines; below it the DP runs the level serially.
+const minParallelWindows = 256
 
 // Grid holds the signatures of all ω×ω windows of one window size, laid out
 // on the regular grid of window positions.
@@ -114,7 +129,8 @@ func ComputeSlidingWindows(plane []float64, imgW, imgH int, params SlidingParams
 		}
 		g.Data = make([]float64, g.NX*g.NY*sig*sig)
 		half := win / 2
-		for iy := 0; iy < g.NY; iy++ {
+		src := prev
+		row := func(iy int) {
 			for ix := 0; ix < g.NX; ix++ {
 				x, y := g.PosOf(ix, iy)
 				dst := g.SigAt(ix, iy)
@@ -127,13 +143,21 @@ func ComputeSlidingWindows(plane []float64, imgW, imgH int, params SlidingParams
 					combineBase(a1, a2, a3, a4, dst, sig)
 					continue
 				}
-				w1 := prev.SigAt((x)/prev.Step, (y)/prev.Step)
-				w2 := prev.SigAt((x+half)/prev.Step, (y)/prev.Step)
-				w3 := prev.SigAt((x)/prev.Step, (y+half)/prev.Step)
-				w4 := prev.SigAt((x+half)/prev.Step, (y+half)/prev.Step)
-				assemble(w1, w2, w3, w4, prev.Sig, dst, sig, sig)
+				w1 := src.SigAt((x)/src.Step, (y)/src.Step)
+				w2 := src.SigAt((x+half)/src.Step, (y)/src.Step)
+				w3 := src.SigAt((x)/src.Step, (y+half)/src.Step)
+				w4 := src.SigAt((x+half)/src.Step, (y+half)/src.Step)
+				assemble(w1, w2, w3, w4, src.Sig, dst, sig, sig)
 			}
 		}
+		// Rows of one level only read the (already complete) previous level
+		// and write disjoint slices of g.Data, so they fan out freely. Tiny
+		// levels stay serial: goroutine dispatch would dominate the work.
+		workers := params.Workers
+		if g.NX*g.NY < minParallelWindows {
+			workers = 1
+		}
+		parallel.For(g.NY, workers, row)
 		pyr.levels[win] = g
 		prev = g
 	}

@@ -30,6 +30,7 @@ import (
 
 	"walrus/internal/imgio"
 	"walrus/internal/match"
+	"walrus/internal/parallel"
 	"walrus/internal/region"
 	"walrus/internal/rstar"
 	"walrus/internal/store"
@@ -52,6 +53,13 @@ type Options struct {
 	// the GiST rectangle tree. Disk-backed databases always use the paged
 	// R*-tree.
 	Index IndexBackend
+	// Parallelism is the default worker count for ingest: it resolves the
+	// workers argument of AddBatch, BuildFrom and CreateFrom when that
+	// argument is 0, and (unless Region.Workers overrides it) bounds the
+	// pool region extraction fans its wavelet work across. 0 uses
+	// GOMAXPROCS; 1 forces the serial path. The indexed regions and all
+	// query results are identical for every setting.
+	Parallelism int
 }
 
 // DefaultOptions mirrors the parameter choices of the paper's retrieval
@@ -84,6 +92,11 @@ type QueryParams struct {
 	// 0 means Epsilon scaled by sqrt(fineDim/coarseDim), which keeps the
 	// per-dimension tolerance of the coarse check.
 	RefineEpsilon float64
+	// Parallelism bounds the worker pool the query fans its per-region
+	// index probes and per-candidate scoring across: 0 uses GOMAXPROCS,
+	// 1 reproduces the serial query exactly. Results and stats are
+	// identical for every setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultQueryParams returns the paper's query parameters with no
@@ -152,6 +165,15 @@ type regionRef struct {
 
 // DB is a WALRUS image database. All exported methods are safe for
 // concurrent use.
+//
+// Concurrency contract: readers — Query, Len, Stats, IDs, RegionsOf,
+// NumRegions — take a shared lock and run concurrently with each other
+// (a Query may additionally fan its own index probes across a worker
+// pool; see QueryParams.Parallelism). Writers — Add, AddBatch, Remove —
+// take the lock exclusively, so a write blocks queries only for the
+// index-update portion of its work; AddBatch keeps the expensive region
+// extraction outside the lock. Results never depend on scheduling: the
+// parallelism knobs change wall-clock time only.
 type DB struct {
 	mu   sync.RWMutex
 	opts Options
@@ -198,11 +220,26 @@ func New(opts Options) (*DB, error) {
 }
 
 func prepare(opts Options) (*DB, error) {
-	ext, err := region.NewExtractor(opts.Region)
+	ropts := opts.Region
+	if ropts.Workers == 0 && opts.Parallelism > 0 {
+		// Region.Workers inherits the database-wide parallelism default.
+		ropts.Workers = opts.Parallelism
+	}
+	ext, err := region.NewExtractor(ropts)
 	if err != nil {
 		return nil, err
 	}
 	return &DB{opts: opts, ext: ext, byID: make(map[string]int)}, nil
+}
+
+// ingestWorkers resolves a caller-supplied worker count against the
+// database's Parallelism default: workers > 0 wins, otherwise
+// Options.Parallelism applies (itself defaulting to GOMAXPROCS).
+func (db *DB) ingestWorkers(workers int) int {
+	if workers <= 0 {
+		workers = db.opts.Parallelism
+	}
+	return parallel.Workers(workers)
 }
 
 // Options returns the database configuration.
@@ -268,15 +305,27 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 
 	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: time.Since(start)}
 	probeStart := time.Now()
-	// pairsByImage[img] holds the matching (query region, target region)
-	// pairs discovered by the index probes.
-	pairsByImage := make(map[int][]match.Pair)
-	for qi, qr := range qRegions {
+	workers := parallel.Workers(p.Parallelism)
+
+	// Probe the index with every query region's epsilon envelope. The
+	// probes only read the tree (the shared lock excludes writers), so they
+	// fan across the worker pool; each writes its hits into its own slot
+	// and the slots are merged in query-region order below, which keeps
+	// pairsByImage — and therefore scores, stats and rankings — identical
+	// to the serial query.
+	type probeHit struct {
+		image int
+		pair  match.Pair
+	}
+	perRegion := make([][]probeHit, len(qRegions))
+	err = parallel.ForErr(len(qRegions), workers, func(qi int) error {
+		qr := qRegions[qi]
 		probe := db.signatureRect(qr).Expand(p.Epsilon)
 		entries, err := db.tree.SearchAll(probe)
 		if err != nil {
-			return nil, stats, err
+			return err
 		}
+		hits := make([]probeHit, 0, len(entries))
 		for _, e := range entries {
 			ref := db.refs[e.Data]
 			target := db.images[ref.Image].Regions[ref.Local]
@@ -298,30 +347,62 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 					continue
 				}
 			}
-			pairsByImage[ref.Image] = append(pairsByImage[ref.Image], match.Pair{Q: qi, T: ref.Local})
-			stats.RegionsRetrieved++
+			hits = append(hits, probeHit{image: ref.Image, pair: match.Pair{Q: qi, T: ref.Local}})
 		}
+		perRegion[qi] = hits
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	// pairsByImage[img] holds the matching (query region, target region)
+	// pairs discovered by the index probes.
+	pairsByImage := make(map[int][]match.Pair)
+	for _, hits := range perRegion {
+		for _, h := range hits {
+			pairsByImage[h.image] = append(pairsByImage[h.image], h.pair)
+		}
+		stats.RegionsRetrieved += len(hits)
 	}
 	stats.CandidateImages = len(pairsByImage)
 	stats.ProbeTime = time.Since(probeStart)
 	scoreStart := time.Now()
 
+	// Score every candidate image, fanning the (independent, read-only)
+	// match computations across the same pool. Candidates are scored into
+	// fixed slots ordered by image index, so the result set is again
+	// schedule-independent.
+	candidates := make([]int, 0, len(pairsByImage))
+	for imgIdx := range pairsByImage {
+		candidates = append(candidates, imgIdx)
+	}
+	sort.Ints(candidates)
 	scoreOpts := match.Options{Algorithm: p.Matcher, Denominator: p.Denominator}
-	matches := make([]Match, 0, len(pairsByImage))
-	for imgIdx, pairs := range pairsByImage {
+	scored := make([]match.Result, len(candidates))
+	err = parallel.ForErr(len(candidates), workers, func(i int) error {
+		imgIdx := candidates[i]
 		rec := db.images[imgIdx]
-		res, err := match.Score(qRegions, rec.Regions, pairs, im.W*im.H, rec.W*rec.H, scoreOpts)
+		res, err := match.Score(qRegions, rec.Regions, pairsByImage[imgIdx], im.W*im.H, rec.W*rec.H, scoreOpts)
 		if err != nil {
-			return nil, stats, err
+			return err
 		}
-		if res.Similarity < p.Tau {
+		scored[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	matches := make([]Match, 0, len(candidates))
+	for i, imgIdx := range candidates {
+		if scored[i].Similarity < p.Tau {
 			continue
 		}
+		rec := db.images[imgIdx]
 		matches = append(matches, Match{
 			ID:              rec.ID,
-			Similarity:      res.Similarity,
-			Pairs:           res.Pairs,
-			MatchingRegions: len(pairs),
+			Similarity:      scored[i].Similarity,
+			Pairs:           scored[i].Pairs,
+			MatchingRegions: len(pairsByImage[imgIdx]),
 		})
 	}
 	sort.Slice(matches, func(i, j int) bool {
