@@ -54,6 +54,7 @@ func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) 
 	imgIdx := len(db.images)
 	db.images = append(db.images, imageRecord{ID: id, W: im.W, H: im.H, Regions: regions})
 	db.byID[id] = imgIdx
+	var rids []uint64
 	for local, r := range regions {
 		payload := int64(len(db.refs))
 		ref := regionRef{Image: imgIdx, Local: local}
@@ -67,11 +68,15 @@ func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) 
 				return fmt.Errorf("walrus: storing region of %q: %w", id, err)
 			}
 			ref.RID = rid.Pack()
+			rids = append(rids, ref.RID)
 		}
 		db.refs = append(db.refs, ref)
 		if err := db.tree.Insert(db.signatureRect(r), payload); err != nil {
 			return fmt.Errorf("walrus: indexing region of %q: %w", id, err)
 		}
+	}
+	if db.persist != nil {
+		return db.commitLocked(&walDelta{Op: deltaAdd, ID: id, W: im.W, H: im.H, RIDs: rids})
 	}
 	return nil
 }

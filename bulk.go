@@ -73,6 +73,10 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 	if err != nil {
 		return nil, err
 	}
+	if err := db.beginBulkLoad(); err != nil {
+		db.Close()
+		return nil, err
+	}
 	extracted, errs := db.extractAll(items, workers)
 
 	var rects []rstar.Rect
@@ -112,9 +116,48 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 		return nil, err
 	}
 	db.tree = tree
-	if err := db.Flush(); err != nil {
+	if err := db.endBulkLoad(); err != nil {
 		db.Close()
 		return nil, err
 	}
 	return db, nil
+}
+
+// beginBulkLoad suspends write-ahead logging for a bulk rebuild: logging
+// full page images of a from-scratch load would double the write volume
+// for no benefit, since there is no prior state worth recovering to. A
+// durable rebuild marker makes the trade explicit — a crash before
+// endBulkLoad leaves the marker in the log, and Open refuses the
+// directory with a "rebuild interrupted" error instead of presenting a
+// half-built database.
+func (db *DB) beginBulkLoad() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p := db.persist
+	if p == nil {
+		return nil
+	}
+	p.wal.AppendApp(kindRebuild, nil)
+	p.wal.AppendCommit()
+	if err := p.wal.Sync(); err != nil {
+		return err
+	}
+	p.unlogged = true
+	p.pool.SetFlushHook(nil)
+	return nil
+}
+
+// endBulkLoad resumes logging and checkpoints, which flushes the built
+// database, snapshots the catalog, and truncates the log — retiring the
+// rebuild marker written by beginBulkLoad.
+func (db *DB) endBulkLoad() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p := db.persist
+	if p == nil {
+		return nil
+	}
+	p.unlogged = false
+	p.pool.SetFlushHook(p.flushHook)
+	return db.checkpointLocked(false)
 }

@@ -5,8 +5,9 @@
 #   3. race tier: go test -race -short — runs the concurrency stress
 #      tests (mixed Add/Query/Remove) under the race detector on every PR
 #   4. full test suite
-# A short smoke run of the PPM fuzz target can be added locally with:
-#   go test -fuzz FuzzDecodePPM -fuzztime 30s ./internal/imgio
+#   5. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
+#      target (PPM decoder, WAL replay) for a few seconds of random input
+#      on top of their always-on seed corpora
 set -eu
 cd "$(dirname "$0")"
 
@@ -29,5 +30,11 @@ go test -race -short ./...
 
 echo "== tier 1: full tests =="
 go test ./...
+
+if [ "${WALRUS_CI_FUZZ:-0}" = "1" ]; then
+    echo "== tier 2: fuzz smoke =="
+    go test -fuzz FuzzDecodePPM -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/imgio
+    go test -fuzz FuzzReplayWAL -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/wal
+fi
 
 echo "CI OK"

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("walrus-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, all")
+		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, all")
 		imgSize = flag.Int("image-size", 256, "image side for Figure 6 (paper: 256)")
 		maxWin  = flag.Int("max-window", 128, "largest window for Figure 6(a) (paper: 128)")
 		maxSig  = flag.Int("max-signature", 32, "largest signature for Figure 6(b) (paper: 32)")
@@ -62,7 +62,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel")
+	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel") || want("durability")
 	if !needDataset {
 		return
 	}
@@ -155,6 +155,16 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	if want("durability") {
+		fmt.Fprintln(out, "== Durability: WAL fsync policy vs ingest throughput ==")
+		rows, err := experiments.DurabilitySweep(ds, cfg.Options)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintDurability(out, rows)
+		fmt.Fprintln(out)
+	}
+
 	if want("indexing") {
 		fmt.Fprintln(out, "== Indexing throughput: sequential vs parallel vs STR bulk load ==")
 		rows, err := experiments.IndexingThroughput(ds, cfg.Options)
@@ -209,7 +219,7 @@ func main() {
 }
 
 func isKnown(e string) bool {
-	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel all") {
+	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability all") {
 		if e == k {
 			return true
 		}

@@ -35,10 +35,15 @@ func main() {
 		merge      = flag.Bool("merge-regions", false, "agglomeratively merge clusters after BIRCH")
 		refine     = flag.Int("refine-iterations", 0, "centroid refinement passes after clustering")
 		fineSig    = flag.Int("fine-signature", 0, "store finer NxN signatures for the refined matching phase (0 = off)")
+		durability = flag.String("durability", "group", "WAL durability policy: always, group or none")
 	)
 	flag.Parse()
 
 	sp, err := colorspace.Parse(*space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := walrus.ParseDurability(*durability)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,6 +61,7 @@ func main() {
 	opts.Region.RefineIterations = *refine
 	opts.Region.FineSignature = *fineSig
 	opts.UseBBox = *bbox
+	opts.Durability = pol
 
 	ds, err := dataset.Load(*data)
 	if err != nil {
@@ -86,12 +92,19 @@ func main() {
 		len(ds.Items), dbRegions(*index), *index, time.Since(start).Round(time.Millisecond))
 }
 
-// dbRegions reopens the index briefly to report the region count.
+// dbRegions reopens the index briefly to report the region count. A
+// dirty reopen (crash during a previous run) also reports what recovery
+// replayed.
 func dbRegions(dir string) int {
 	db, err := walrus.Open(dir)
 	if err != nil {
 		return 0
 	}
 	defer db.Close()
+	if stats, ok := db.Recovery(); ok && stats.Replayed {
+		fmt.Fprintf(os.Stderr,
+			"  recovered index: %d records scanned, %d pages reapplied, %d catalog deltas, %d torn tail bytes discarded\n",
+			stats.RecordsScanned, stats.PagesApplied, stats.AppRecords, stats.TornBytes)
+	}
 	return db.NumRegions()
 }

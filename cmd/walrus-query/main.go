@@ -36,6 +36,7 @@ func main() {
 		k       = flag.Int("k", 14, "number of results")
 		matcher = flag.String("matcher", "quick", "image matcher: quick, greedy, exact or assignment")
 		sceneXY = flag.String("scene", "", "query with a sub-rectangle only: x,y,w,h (user-specified scene)")
+		durable = flag.String("durability", "", "override the index's WAL durability policy: always, group or none")
 	)
 	flag.Parse()
 	if *imgPath == "" {
@@ -51,6 +52,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	if stats, ok := db.Recovery(); ok && stats.Replayed {
+		fmt.Fprintf(os.Stderr, "recovered index: %d records replayed, %d torn tail bytes discarded\n",
+			stats.RecordsScanned, stats.TornBytes)
+	}
+	if *durable != "" {
+		pol, err := walrus.ParseDurability(*durable)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.SetDurability(pol)
+	}
 
 	params := walrus.DefaultQueryParams()
 	params.Epsilon = *eps

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"walrus"
+	"walrus/internal/dataset"
+)
+
+// DurabilityRow reports ingest cost under one WAL durability policy.
+type DurabilityRow struct {
+	Policy       walrus.DurabilityPolicy
+	Elapsed      time.Duration
+	ImagesPerSec float64
+	Overhead     float64 // elapsed relative to the cheapest policy
+	Persisted    bool    // reopen after close sees every image
+}
+
+// DurabilitySweep ingests the dataset into a disk-backed index once per
+// durability policy and measures the write-path cost of each fsync
+// discipline: none (flush to OS only), group commit (fsync every 256KB
+// of log), and always (fsync per operation). After each run the index is
+// reopened to verify the ingest survived a clean close.
+func DurabilitySweep(ds *dataset.Dataset, opts walrus.Options) ([]DurabilityRow, error) {
+	items := make([]walrus.BatchItem, len(ds.Items))
+	for i, it := range ds.Items {
+		items[i] = walrus.BatchItem{ID: it.ID, Image: it.Image}
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("experiments: empty dataset")
+	}
+	base, err := os.MkdirTemp("", "walrus-durability")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+
+	policies := []walrus.DurabilityPolicy{
+		walrus.DurabilityNone,
+		walrus.DurabilityGroupCommit,
+		walrus.DurabilityAlways,
+	}
+	// Warm-up ingest (discarded): region extraction dominates wall time,
+	// and a cold first run would otherwise be charged to whichever policy
+	// goes first.
+	{
+		db, err := walrus.Create(filepath.Join(base, "warmup"), opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AddBatch(items, 0); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]DurabilityRow, 0, len(policies))
+	for _, pol := range policies {
+		dir := filepath.Join(base, pol.String())
+		o := opts
+		o.Durability = pol
+		db, err := walrus.Create(dir, o)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := db.AddBatch(items, 0); err != nil {
+			db.Close()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+		re, err := walrus.Open(dir)
+		if err != nil {
+			return nil, fmt.Errorf("reopening %s index: %w", pol, err)
+		}
+		persisted := re.Len() == len(items)
+		re.Close()
+		rows = append(rows, DurabilityRow{
+			Policy:       pol,
+			Elapsed:      elapsed,
+			ImagesPerSec: float64(len(items)) / elapsed.Seconds(),
+			Persisted:    persisted,
+		})
+	}
+	cheapest := rows[0].Elapsed
+	for _, r := range rows {
+		if r.Elapsed < cheapest {
+			cheapest = r.Elapsed
+		}
+	}
+	for i := range rows {
+		rows[i].Overhead = rows[i].Elapsed.Seconds() / cheapest.Seconds()
+	}
+	return rows, nil
+}
+
+// PrintDurability renders the durability-policy cost comparison.
+func PrintDurability(w io.Writer, rows []DurabilityRow) {
+	fmt.Fprintln(w, "Ingest cost by WAL durability policy")
+	fmt.Fprintf(w, "%8s %14s %12s %10s %10s\n", "policy", "elapsed", "images/s", "overhead", "persisted")
+	for _, r := range rows {
+		ok := "yes"
+		if !r.Persisted {
+			ok = "NO"
+		}
+		fmt.Fprintf(w, "%8s %14s %12.2f %9.2fx %10s\n",
+			r.Policy, r.Elapsed.Round(time.Millisecond), r.ImagesPerSec, r.Overhead, ok)
+	}
+}

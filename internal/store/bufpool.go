@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -14,15 +15,32 @@ type Frame struct {
 	ID   PageID
 	Data []byte
 
-	pins  int
-	dirty bool
-	elem  *list.Element
+	// LSN is the WAL position of the frame's last logged image; it is
+	// stamped into the page footer when the frame is written back.
+	LSN uint64
+
+	pins   int
+	dirty  bool
+	logged bool // current contents captured in the WAL (see LogDirty)
+	elem   *list.Element
 }
 
 // PoolStats counts buffer pool activity.
 type PoolStats struct {
 	Hits, Misses, Evictions, Flushes uint64
+	// FailedWriteBacks counts dirty write-backs that errored during
+	// eviction; the pool keeps the frame resident and records a sticky
+	// I/O error (see Err).
+	FailedWriteBacks uint64
 }
+
+// FlushHook is consulted immediately before a dirty page is written back
+// to the pager. A WAL-backed database installs a hook that forces the log
+// durable up to the frame's LSN, enforcing the log-before-flush (WAL)
+// invariant. While a hook is installed the pool also stops evicting dirty
+// frames (no-steal policy): uncommitted page images never reach the page
+// file, so redo-only recovery suffices.
+type FlushHook func(id PageID, lsn uint64) error
 
 // BufferPool caches pages of a Pager in memory with LRU replacement.
 // It is safe for concurrent use.
@@ -34,6 +52,8 @@ type BufferPool struct {
 	frames map[PageID]*Frame
 	lru    *list.List // front = most recently used; holds unpinned and pinned frames alike
 	stats  PoolStats
+	hook   FlushHook
+	ioErr  error // sticky: first failed write-back, surfaced on later calls
 }
 
 // NewBufferPool wraps a pager with a cache of at most capacity pages.
@@ -56,10 +76,31 @@ func (bp *BufferPool) Stats() PoolStats {
 	return bp.stats
 }
 
+// SetFlushHook installs (or, with nil, removes) the log-before-flush
+// hook. See FlushHook for the eviction-policy consequences.
+func (bp *BufferPool) SetFlushHook(h FlushHook) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.hook = h
+}
+
+// Err returns the pool's sticky I/O error: the first dirty write-back
+// failure during eviction. Once set it is also returned by Get, NewPage
+// and FlushAll, since the cached state can no longer be trusted to reach
+// disk.
+func (bp *BufferPool) Err() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.ioErr
+}
+
 // Get returns a pinned frame for page id, reading it from disk on a miss.
 func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	if bp.ioErr != nil {
+		return nil, bp.ioErr
+	}
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		f.pins++
@@ -71,10 +112,12 @@ func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := bp.pager.ReadPage(id, f.Data); err != nil {
+	lsn, err := bp.pager.ReadPage(id, f.Data)
+	if err != nil {
 		bp.drop(f)
 		return nil, err
 	}
+	f.LSN = lsn
 	return f, nil
 }
 
@@ -88,6 +131,9 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	if bp.ioErr != nil {
+		return nil, bp.ioErr
+	}
 	f, err := bp.admit(id)
 	if err != nil {
 		return nil, err
@@ -96,6 +142,7 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 		f.Data[i] = 0
 	}
 	f.dirty = true
+	f.logged = false
 	return f, nil
 }
 
@@ -104,6 +151,12 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 func (bp *BufferPool) admit(id PageID) (*Frame, error) {
 	for len(bp.frames) >= bp.cap {
 		if !bp.evictOne() {
+			if bp.ioErr != nil {
+				return nil, bp.ioErr
+			}
+			if bp.hook != nil {
+				return nil, fmt.Errorf("store: buffer pool exhausted: all %d frames pinned or dirty (WAL no-steal); commit or raise the pool capacity", bp.cap)
+			}
 			return nil, fmt.Errorf("store: buffer pool exhausted: all %d frames pinned", bp.cap)
 		}
 	}
@@ -113,8 +166,11 @@ func (bp *BufferPool) admit(id PageID) (*Frame, error) {
 	return f, nil
 }
 
-// evictOne removes the least recently used unpinned frame, flushing it if
-// dirty. Returns false if every frame is pinned. Caller holds bp.mu.
+// evictOne removes the least recently used evictable frame, flushing it
+// if dirty (steal). Under a FlushHook dirty frames are not evictable
+// (no-steal). A failed write-back records the pool's sticky I/O error and
+// keeps the frame resident rather than lose data. Returns false if no
+// frame could be evicted. Caller holds bp.mu.
 func (bp *BufferPool) evictOne() bool {
 	for e := bp.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*Frame)
@@ -122,9 +178,16 @@ func (bp *BufferPool) evictOne() bool {
 			continue
 		}
 		if f.dirty {
-			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
-				// A failed write-back is unrecoverable for this frame; keep
-				// it resident rather than lose data.
+			if bp.hook != nil {
+				// No-steal: this frame may hold uncommitted data; only a
+				// checkpoint (FlushAll) may write it back.
+				continue
+			}
+			if err := bp.pager.WritePage(f.ID, f.Data, f.LSN); err != nil {
+				bp.stats.FailedWriteBacks++
+				if bp.ioErr == nil {
+					bp.ioErr = fmt.Errorf("store: evicting page %d: %w", f.ID, err)
+				}
 				continue
 			}
 			bp.stats.Flushes++
@@ -152,22 +215,77 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	f.pins--
 	if dirty {
 		f.dirty = true
+		f.logged = false
 	}
 }
 
-// FlushAll writes every dirty frame back and syncs the pager. Pinned
+// DirtyCount returns the number of dirty frames resident in the pool.
+// The WAL commit path uses it to decide when to checkpoint.
+func (bp *BufferPool) DirtyCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		if f.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// LogDirty passes every frame whose contents changed since its last
+// logging to fn (in PageID order, for deterministic logs) and stamps the
+// returned LSN on the frame. The WAL commit path uses it to capture redo
+// images of all pages a transaction touched before they can reach disk.
+func (bp *BufferPool) LogDirty(fn func(id PageID, data []byte) (uint64, error)) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.ioErr != nil {
+		return bp.ioErr
+	}
+	var pending []*Frame
+	for _, f := range bp.frames {
+		if f.dirty && !f.logged {
+			pending = append(pending, f)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	for _, f := range pending {
+		lsn, err := fn(f.ID, f.Data)
+		if err != nil {
+			return err
+		}
+		f.LSN = lsn
+		f.logged = true
+	}
+	return nil
+}
+
+// FlushAll writes every dirty frame back and syncs the pager, invoking
+// the FlushHook (log-before-flush) ahead of each write-back. Pinned
 // frames are flushed but stay resident.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
+	if bp.ioErr != nil {
+		bp.mu.Unlock()
+		return bp.ioErr
+	}
 	for _, f := range bp.frames {
-		if f.dirty {
-			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+		if !f.dirty {
+			continue
+		}
+		if bp.hook != nil {
+			if err := bp.hook(f.ID, f.LSN); err != nil {
 				bp.mu.Unlock()
 				return err
 			}
-			f.dirty = false
-			bp.stats.Flushes++
 		}
+		if err := bp.pager.WritePage(f.ID, f.Data, f.LSN); err != nil {
+			bp.mu.Unlock()
+			return err
+		}
+		f.dirty = false
+		bp.stats.Flushes++
 	}
 	bp.mu.Unlock()
 	return bp.pager.Sync()

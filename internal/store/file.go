@@ -1,0 +1,86 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// File is the I/O surface the storage layer writes through. *os.File
+// satisfies it directly; tests substitute fault-injecting implementations
+// (internal/crashfs) to exercise crash recovery deterministically.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+var _ File = (*os.File)(nil)
+
+// Every page in a page file carries a footer in its last PageFooterSize
+// bytes, maintained by the Pager and invisible to clients (PageSize
+// reports the usable size):
+//
+//	offset n-16: LSN (uint64) — the WAL position of the last logged image
+//	             of this page; 0 if the page was never logged.
+//	offset n-8:  CRC32-Castagnoli over bytes [0, n-8) — contents + LSN.
+//	offset n-4:  reserved (zero)
+//
+// The checksum turns torn page writes and bit flips into detectable read
+// errors, and the LSN lets WAL replay skip page images that are already
+// reflected on disk (the ARIES pageLSN comparison).
+const PageFooterSize = 16
+
+var footerCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// StampPageFooter writes lsn and a fresh checksum into the footer of a
+// full physical page.
+func StampPageFooter(page []byte, lsn uint64) {
+	n := len(page)
+	binary.LittleEndian.PutUint64(page[n-16:], lsn)
+	binary.LittleEndian.PutUint32(page[n-8:], crc32.Checksum(page[:n-8], footerCRC))
+	binary.LittleEndian.PutUint32(page[n-4:], 0)
+}
+
+// CheckPageFooter verifies a full physical page's checksum and returns
+// its LSN. ok is false if the page is torn or corrupt.
+func CheckPageFooter(page []byte) (lsn uint64, ok bool) {
+	n := len(page)
+	if n < PageFooterSize {
+		return 0, false
+	}
+	sum := crc32.Checksum(page[:n-8], footerCRC)
+	if binary.LittleEndian.Uint32(page[n-8:]) != sum {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(page[n-16:]), true
+}
+
+// PeekMeta reads the meta page of a page file without opening a Pager:
+// WAL recovery runs below the pager and needs the physical page size and
+// the fallback WAL base LSN before the file is structurally trusted.
+// ok is false if the meta page is unreadable or fails its checksum.
+func PeekMeta(f File) (pageSize int, walBase uint64, ok bool) {
+	var head [12]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != pagerMagic {
+		return 0, 0, false
+	}
+	ps := int(binary.LittleEndian.Uint32(head[8:]))
+	if ps < minPageSize || ps > 1<<24 {
+		return 0, 0, false
+	}
+	page := make([]byte, ps)
+	if _, err := f.ReadAt(page, 0); err != nil {
+		return 0, 0, false
+	}
+	if _, ok := CheckPageFooter(page); !ok {
+		return 0, 0, false
+	}
+	return ps, binary.LittleEndian.Uint64(page[metaWALBaseOff:]), true
+}

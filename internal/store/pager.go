@@ -1,8 +1,12 @@
 // Package store provides the page-based storage layer the disk-resident
-// WALRUS index sits on: a Pager managing fixed-size pages in a single file
-// with a free list, and a BufferPool caching pages in memory with LRU
-// eviction and pin/unpin semantics. Together they stand in for the storage
-// manager the paper's implementation got from the libgist package.
+// WALRUS index sits on: a Pager managing fixed-size checksummed pages in a
+// single file with a free list, and a BufferPool caching pages in memory
+// with LRU eviction and pin/unpin semantics. Together they stand in for
+// the storage manager the paper's implementation got from the libgist
+// package. The pager cooperates with internal/wal for crash recovery:
+// every page carries an LSN+CRC footer (see file.go) and the whole free
+// list lives inside the meta page, so a single logged meta-page image
+// captures all allocation state.
 package store
 
 import (
@@ -23,41 +27,72 @@ const InvalidPage PageID = 0
 // DefaultPageSize is the page size used when none is specified.
 const DefaultPageSize = 4096
 
+// Meta page layout (within the usable area; the footer is at the physical
+// end like any other page):
+//
+//	offset 0:  magic (uint32)
+//	offset 4:  version (uint32)
+//	offset 8:  physical page size (uint32)
+//	offset 12: page count, including the meta page (uint32)
+//	offset 16: WAL base LSN fallback (uint64; see SetWALBase)
+//	offset 24: free-list length (uint32)
+//	offset 28: reserved (uint32)
+//	offset 32: 8 client root slots (uint64 each)
+//	offset 96: free page ids (uint32 each), newest last
 const (
-	pagerMagic   = 0x57414C52 // "WALR"
-	pagerVersion = 1
-	numRoots     = 8
-	metaSize     = 4 + 4 + 4 + 4 + 4 + numRoots*8 // magic, version, pageSize, nPages, freeHead, roots
-	minPageSize  = 128
+	pagerMagic     = 0x57414C52 // "WALR"
+	pagerVersion   = 2
+	numRoots       = 8
+	metaWALBaseOff = 16
+	metaFreeOff    = 96
+	minPageSize    = 256
 )
 
 // Pager manages fixed-size pages in one file. All methods are safe for
 // concurrent use.
 type Pager struct {
-	mu        sync.Mutex
-	f         *os.File
-	pageSize  int
-	nPages    uint32 // includes the meta page
-	freeHead  PageID
-	roots     [numRoots]uint64
+	mu       sync.Mutex
+	f        File
+	pageSize int // physical page size; usable is pageSize - PageFooterSize
+	usable   int
+	nPages   uint32 // includes the meta page
+	free     []PageID
+	freeCap  int
+	leaked   uint64 // frees dropped because the meta free list was full
+	roots    [numRoots]uint64
+	walBase  uint64
+
 	metaDirty bool
+	metaVer   uint64 // bumped on every meta mutation; see MetaVersion
+	metaLSN   uint64 // stamped into the meta page footer on write-back
+	scratch   []byte // one physical page, reused under mu
 }
 
 // Create creates a new page file at path, truncating any existing file.
 func Create(path string, pageSize int) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	p, err := CreateFile(f, pageSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// CreateFile initializes a new page file on an already-open File.
+func CreateFile(f File, pageSize int) (*Pager, error) {
 	if pageSize == 0 {
 		pageSize = DefaultPageSize
 	}
 	if pageSize < minPageSize {
 		return nil, fmt.Errorf("store: page size %d below minimum %d", pageSize, minPageSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: creating %s: %w", path, err)
-	}
 	p := &Pager{f: f, pageSize: pageSize, nPages: 1, metaDirty: true}
+	p.initDerived()
 	if err := p.writeMeta(); err != nil {
-		f.Close()
 		return nil, err
 	}
 	return p, nil
@@ -69,37 +104,69 @@ func Open(path string) (*Pager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: opening %s: %w", path, err)
 	}
-	buf := make([]byte, metaSize)
-	if _, err := f.ReadAt(buf, 0); err != nil {
+	p, err := OpenFile(f)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: reading meta page of %s: %w", path, err)
-	}
-	if binary.LittleEndian.Uint32(buf[0:]) != pagerMagic {
-		f.Close()
-		return nil, fmt.Errorf("store: %s is not a WALRUS page file", path)
-	}
-	if v := binary.LittleEndian.Uint32(buf[4:]); v != pagerVersion {
-		f.Close()
-		return nil, fmt.Errorf("store: %s has unsupported version %d", path, v)
-	}
-	p := &Pager{
-		f:        f,
-		pageSize: int(binary.LittleEndian.Uint32(buf[8:])),
-		nPages:   binary.LittleEndian.Uint32(buf[12:]),
-		freeHead: PageID(binary.LittleEndian.Uint32(buf[16:])),
-	}
-	for i := 0; i < numRoots; i++ {
-		p.roots[i] = binary.LittleEndian.Uint64(buf[20+8*i:])
-	}
-	if p.pageSize < minPageSize {
-		f.Close()
-		return nil, fmt.Errorf("store: %s has corrupt page size %d", path, p.pageSize)
+		return nil, fmt.Errorf("store: %s: %w", path, err)
 	}
 	return p, nil
 }
 
-// PageSize returns the page size in bytes.
-func (p *Pager) PageSize() int { return p.pageSize }
+// OpenFile opens an existing page file on an already-open File.
+func OpenFile(f File) (*Pager, error) {
+	head := make([]byte, 12)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("store: reading meta page: %w", err)
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != pagerMagic {
+		return nil, fmt.Errorf("store: not a WALRUS page file")
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != pagerVersion {
+		return nil, fmt.Errorf("store: unsupported page file version %d", v)
+	}
+	pageSize := int(binary.LittleEndian.Uint32(head[8:]))
+	if pageSize < minPageSize || pageSize > 1<<24 {
+		return nil, fmt.Errorf("store: corrupt page size %d", pageSize)
+	}
+	page := make([]byte, pageSize)
+	if _, err := f.ReadAt(page, 0); err != nil {
+		return nil, fmt.Errorf("store: reading meta page: %w", err)
+	}
+	lsn, ok := CheckPageFooter(page)
+	if !ok {
+		return nil, fmt.Errorf("store: meta page checksum mismatch (torn write?): run recovery or rebuild")
+	}
+	p := &Pager{f: f, pageSize: pageSize, metaLSN: lsn}
+	p.initDerived()
+	p.nPages = binary.LittleEndian.Uint32(page[12:])
+	p.walBase = binary.LittleEndian.Uint64(page[metaWALBaseOff:])
+	nFree := int(binary.LittleEndian.Uint32(page[24:]))
+	if nFree > p.freeCap {
+		return nil, fmt.Errorf("store: corrupt free list length %d", nFree)
+	}
+	for i := 0; i < numRoots; i++ {
+		p.roots[i] = binary.LittleEndian.Uint64(page[32+8*i:])
+	}
+	p.free = make([]PageID, nFree)
+	for i := 0; i < nFree; i++ {
+		p.free[i] = PageID(binary.LittleEndian.Uint32(page[metaFreeOff+4*i:]))
+	}
+	return p, nil
+}
+
+func (p *Pager) initDerived() {
+	p.usable = p.pageSize - PageFooterSize
+	p.freeCap = (p.usable - metaFreeOff) / 4
+	p.scratch = make([]byte, p.pageSize)
+}
+
+// PageSize returns the usable page size in bytes — what ReadPage and
+// WritePage buffers must measure. The physical page on disk additionally
+// carries the PageFooterSize LSN+checksum footer.
+func (p *Pager) PageSize() int { return p.usable }
+
+// PhysicalPageSize returns the on-disk page size including the footer.
+func (p *Pager) PhysicalPageSize() int { return p.pageSize }
 
 // NumPages returns the number of pages in the file, including the meta
 // page and freed pages.
@@ -121,26 +188,107 @@ func (p *Pager) Root(i int) uint64 {
 func (p *Pager) SetRoot(i int, v uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.roots[i] = v
+	if p.roots[i] != v {
+		p.roots[i] = v
+		p.touchMeta()
+	}
+}
+
+// WALBase returns the fallback WAL base LSN stored in the meta page.
+func (p *Pager) WALBase() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.walBase
+}
+
+// SetWALBase records the WAL base LSN that a fresh log generation will
+// start from. It is written (and synced) before the WAL is truncated at a
+// checkpoint, so recovery can rebuild a usable log header even if the
+// truncation itself was torn by a crash.
+func (p *Pager) SetWALBase(v uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.walBase != v {
+		p.walBase = v
+		p.touchMeta()
+	}
+}
+
+// MetaVersion returns a counter bumped on every meta mutation (root
+// updates, allocation, free). The WAL commit path compares it against the
+// last logged version to decide whether to re-log the meta page image.
+func (p *Pager) MetaVersion() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metaVer
+}
+
+// SetMetaLSN records the WAL position of the last logged meta page image;
+// it is stamped into the meta page footer on the next write-back.
+func (p *Pager) SetMetaLSN(lsn uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.metaLSN = lsn
+}
+
+// MetaImage returns the current meta page contents (usable bytes), the
+// image the WAL logs so recovery can restore allocation state.
+func (p *Pager) MetaImage() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	buf := make([]byte, p.usable)
+	p.encodeMeta(buf)
+	return buf
+}
+
+// touchMeta marks the meta page dirty. Caller holds mu.
+func (p *Pager) touchMeta() {
 	p.metaDirty = true
+	p.metaVer++
+}
+
+// encodeMeta serializes the meta page into buf (usable bytes). Caller
+// holds mu.
+func (p *Pager) encodeMeta(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], pagerMagic)
+	binary.LittleEndian.PutUint32(buf[4:], pagerVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(p.pageSize))
+	binary.LittleEndian.PutUint32(buf[12:], p.nPages)
+	binary.LittleEndian.PutUint64(buf[metaWALBaseOff:], p.walBase)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(p.free)))
+	binary.LittleEndian.PutUint32(buf[28:], 0)
+	for i := 0; i < numRoots; i++ {
+		binary.LittleEndian.PutUint64(buf[32+8*i:], p.roots[i])
+	}
+	for i, id := range p.free {
+		binary.LittleEndian.PutUint32(buf[metaFreeOff+4*i:], uint32(id))
+	}
+	for i := metaFreeOff + 4*len(p.free); i < len(buf); i++ {
+		buf[i] = 0
+	}
 }
 
 // writeMeta flushes the metadata page. Caller must hold mu or have
 // exclusive access.
 func (p *Pager) writeMeta() error {
-	buf := make([]byte, p.pageSize)
-	binary.LittleEndian.PutUint32(buf[0:], pagerMagic)
-	binary.LittleEndian.PutUint32(buf[4:], pagerVersion)
-	binary.LittleEndian.PutUint32(buf[8:], uint32(p.pageSize))
-	binary.LittleEndian.PutUint32(buf[12:], p.nPages)
-	binary.LittleEndian.PutUint32(buf[16:], uint32(p.freeHead))
-	for i := 0; i < numRoots; i++ {
-		binary.LittleEndian.PutUint64(buf[20+8*i:], p.roots[i])
-	}
-	if _, err := p.f.WriteAt(buf, 0); err != nil {
+	p.encodeMeta(p.scratch[:p.usable])
+	if err := p.writePhysical(0, p.scratch[:p.usable], p.metaLSN); err != nil {
 		return fmt.Errorf("store: writing meta page: %w", err)
 	}
 	p.metaDirty = false
+	return nil
+}
+
+// writePhysical frames usable-size data with the LSN+CRC footer and
+// writes the physical page. Caller holds mu. data may alias scratch.
+func (p *Pager) writePhysical(id PageID, data []byte, lsn uint64) error {
+	if &data[0] != &p.scratch[0] {
+		copy(p.scratch, data)
+	}
+	StampPageFooter(p.scratch, lsn)
+	if _, err := p.f.WriteAt(p.scratch, p.offset(id)); err != nil {
+		return fmt.Errorf("store: writing page %d: %w", id, err)
+	}
 	return nil
 }
 
@@ -149,74 +297,79 @@ func (p *Pager) writeMeta() error {
 func (p *Pager) Alloc() (PageID, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.freeHead != InvalidPage {
-		id := p.freeHead
-		buf := make([]byte, 4)
-		if _, err := p.f.ReadAt(buf, p.offset(id)); err != nil {
-			return InvalidPage, fmt.Errorf("store: reading free-list page %d: %w", id, err)
-		}
-		p.freeHead = PageID(binary.LittleEndian.Uint32(buf))
-		p.metaDirty = true
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.touchMeta()
 		return id, nil
 	}
 	id := PageID(p.nPages)
-	p.nPages++
-	p.metaDirty = true
-	// Extend the file so ReadPage on the new page succeeds immediately.
-	zero := make([]byte, p.pageSize)
-	if _, err := p.f.WriteAt(zero, p.offset(id)); err != nil {
+	// Extend the file with a zero page (valid footer, LSN 0) so ReadPage
+	// on the new page succeeds immediately.
+	for i := range p.scratch {
+		p.scratch[i] = 0
+	}
+	if err := p.writePhysical(id, p.scratch[:p.usable], 0); err != nil {
 		return InvalidPage, fmt.Errorf("store: extending file for page %d: %w", id, err)
 	}
+	p.nPages++
+	p.touchMeta()
 	return id, nil
 }
 
-// Free returns a page to the free list.
+// Free returns a page to the free list. The free list lives entirely in
+// the meta page; if it is full the page is leaked until the file is
+// rebuilt (tracked in Stats), which keeps every allocation state change
+// recoverable from a single logged meta page image.
 func (p *Pager) Free(id PageID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.check(id); err != nil {
 		return err
 	}
-	buf := make([]byte, 4)
-	binary.LittleEndian.PutUint32(buf, uint32(p.freeHead))
-	if _, err := p.f.WriteAt(buf, p.offset(id)); err != nil {
-		return fmt.Errorf("store: linking freed page %d: %w", id, err)
+	if len(p.free) >= p.freeCap {
+		p.leaked++
+		return nil
 	}
-	p.freeHead = id
-	p.metaDirty = true
+	p.free = append(p.free, id)
+	p.touchMeta()
 	return nil
 }
 
-// ReadPage fills buf (which must be exactly one page long) with page id.
-func (p *Pager) ReadPage(id PageID, buf []byte) error {
+// ReadPage fills buf (which must be exactly PageSize long) with page id,
+// verifies the page checksum, and returns the page's LSN.
+func (p *Pager) ReadPage(id PageID, buf []byte) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(id); err != nil {
+		return 0, err
+	}
+	if len(buf) != p.usable {
+		return 0, fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.usable)
+	}
+	if _, err := p.f.ReadAt(p.scratch, p.offset(id)); err != nil && err != io.EOF {
+		return 0, fmt.Errorf("store: reading page %d: %w", id, err)
+	}
+	lsn, ok := CheckPageFooter(p.scratch)
+	if !ok {
+		return 0, fmt.Errorf("store: page %d checksum mismatch: data corruption or torn write", id)
+	}
+	copy(buf, p.scratch[:p.usable])
+	return lsn, nil
+}
+
+// WritePage writes buf (exactly PageSize long) to page id, stamping lsn
+// into the page footer. Pass 0 when the page is not WAL-logged.
+func (p *Pager) WritePage(id PageID, buf []byte, lsn uint64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.check(id); err != nil {
 		return err
 	}
-	if len(buf) != p.pageSize {
-		return fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.pageSize)
+	if len(buf) != p.usable {
+		return fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.usable)
 	}
-	if _, err := p.f.ReadAt(buf, p.offset(id)); err != nil && err != io.EOF {
-		return fmt.Errorf("store: reading page %d: %w", id, err)
-	}
-	return nil
-}
-
-// WritePage writes buf (exactly one page long) to page id.
-func (p *Pager) WritePage(id PageID, buf []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.check(id); err != nil {
-		return err
-	}
-	if len(buf) != p.pageSize {
-		return fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.pageSize)
-	}
-	if _, err := p.f.WriteAt(buf, p.offset(id)); err != nil {
-		return fmt.Errorf("store: writing page %d: %w", id, err)
-	}
-	return nil
+	return p.writePhysical(id, buf, lsn)
 }
 
 func (p *Pager) check(id PageID) error {
@@ -254,30 +407,25 @@ func (p *Pager) Close() error {
 
 // PagerStats summarizes a pager's space accounting.
 type PagerStats struct {
-	// PageSize is the page size in bytes.
+	// PageSize is the usable page size in bytes.
 	PageSize int
 	// TotalPages counts all pages in the file, including the meta page.
 	TotalPages int
 	// FreePages counts pages currently on the free list.
 	FreePages int
+	// LeakedPages counts frees dropped because the meta free list was
+	// full; the space is reclaimed only by rebuilding the file.
+	LeakedPages int
 }
 
-// Stats walks the free list and reports space accounting. It takes time
-// linear in the free-list length.
+// Stats reports space accounting.
 func (p *Pager) Stats() (PagerStats, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s := PagerStats{PageSize: p.pageSize, TotalPages: int(p.nPages)}
-	buf := make([]byte, 4)
-	for id := p.freeHead; id != InvalidPage; {
-		s.FreePages++
-		if s.FreePages > int(p.nPages) {
-			return s, fmt.Errorf("store: free list cycle detected")
-		}
-		if _, err := p.f.ReadAt(buf, p.offset(id)); err != nil {
-			return s, fmt.Errorf("store: reading free-list page %d: %w", id, err)
-		}
-		id = PageID(binary.LittleEndian.Uint32(buf))
-	}
-	return s, nil
+	return PagerStats{
+		PageSize:    p.usable,
+		TotalPages:  int(p.nPages),
+		FreePages:   len(p.free),
+		LeakedPages: int(p.leaked),
+	}, nil
 }

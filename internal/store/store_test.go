@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -33,14 +34,18 @@ func TestPagerAllocReadWrite(t *testing.T) {
 	if id == InvalidPage {
 		t.Fatal("Alloc returned InvalidPage")
 	}
-	buf := make([]byte, 256)
+	buf := make([]byte, p.PageSize())
 	copy(buf, "hello pages")
-	if err := p.WritePage(id, buf); err != nil {
+	if err := p.WritePage(id, buf, 7); err != nil {
 		t.Fatal(err)
 	}
-	got := make([]byte, 256)
-	if err := p.ReadPage(id, got); err != nil {
+	got := make([]byte, p.PageSize())
+	lsn, err := p.ReadPage(id, got)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if lsn != 7 {
+		t.Fatalf("LSN = %d, want 7", lsn)
 	}
 	if !bytes.Equal(buf, got) {
 		t.Fatal("read back different data")
@@ -50,16 +55,17 @@ func TestPagerAllocReadWrite(t *testing.T) {
 func TestPagerRejectsBadBufferAndIDs(t *testing.T) {
 	p, _ := newTestPager(t, 256)
 	id, _ := p.Alloc()
-	if err := p.WritePage(id, make([]byte, 255)); err == nil {
+	ps := p.PageSize()
+	if err := p.WritePage(id, make([]byte, ps-1), 0); err == nil {
 		t.Error("WritePage accepted short buffer")
 	}
-	if err := p.ReadPage(id, make([]byte, 257)); err == nil {
+	if _, err := p.ReadPage(id, make([]byte, ps+1)); err == nil {
 		t.Error("ReadPage accepted long buffer")
 	}
-	if err := p.ReadPage(InvalidPage, make([]byte, 256)); err == nil {
+	if _, err := p.ReadPage(InvalidPage, make([]byte, ps)); err == nil {
 		t.Error("ReadPage accepted page 0")
 	}
-	if err := p.WritePage(PageID(99), make([]byte, 256)); err == nil {
+	if err := p.WritePage(PageID(99), make([]byte, ps), 0); err == nil {
 		t.Error("WritePage accepted out-of-range page")
 	}
 	if err := p.Free(PageID(99)); err == nil {
@@ -98,12 +104,12 @@ func TestPagerPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	id, _ := p.Alloc()
-	buf := make([]byte, 512)
+	buf := make([]byte, p.PageSize())
 	rng := rand.New(rand.NewSource(61))
 	for i := range buf {
 		buf[i] = byte(rng.Intn(256))
 	}
-	if err := p.WritePage(id, buf); err != nil {
+	if err := p.WritePage(id, buf, 42); err != nil {
 		t.Fatal(err)
 	}
 	p.SetRoot(3, uint64(id))
@@ -116,15 +122,22 @@ func TestPagerPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer q.Close()
-	if q.PageSize() != 512 {
-		t.Fatalf("PageSize = %d, want 512", q.PageSize())
+	if q.PageSize() != 512-PageFooterSize {
+		t.Fatalf("PageSize = %d, want %d", q.PageSize(), 512-PageFooterSize)
+	}
+	if q.PhysicalPageSize() != 512 {
+		t.Fatalf("PhysicalPageSize = %d, want 512", q.PhysicalPageSize())
 	}
 	if got := q.Root(3); got != uint64(id) {
 		t.Fatalf("Root(3) = %d, want %d", got, id)
 	}
-	got := make([]byte, 512)
-	if err := q.ReadPage(PageID(q.Root(3)), got); err != nil {
+	got := make([]byte, q.PageSize())
+	lsn, err := q.ReadPage(PageID(q.Root(3)), got)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if lsn != 42 {
+		t.Fatalf("LSN lost across reopen: got %d, want 42", lsn)
 	}
 	if !bytes.Equal(buf, got) {
 		t.Fatal("page contents lost across reopen")
@@ -138,6 +151,42 @@ func TestPagerPersistence(t *testing.T) {
 	}
 }
 
+func TestPagerWALBasePersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.db")
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetWALBase(123456)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if got := q.WALBase(); got != 123456 {
+		t.Fatalf("WALBase = %d, want 123456", got)
+	}
+}
+
+func TestPagerMetaVersionTracksMutations(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	v0 := p.MetaVersion()
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MetaVersion() == v0 {
+		t.Fatal("Alloc did not bump the meta version")
+	}
+	v1 := p.MetaVersion()
+	p.SetRoot(0, 99)
+	if p.MetaVersion() == v1 {
+		t.Fatal("SetRoot did not bump the meta version")
+	}
+}
+
 func TestPagerOpenRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage.db")
 	p, err := Create(path, 256)
@@ -145,7 +194,6 @@ func TestPagerOpenRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Close()
-	// Corrupt the magic.
 	f, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -269,8 +317,8 @@ func TestBufferPoolFlushAllPersists(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer q.Close()
-	buf := make([]byte, 256)
-	if err := q.ReadPage(id, buf); err != nil {
+	buf := make([]byte, q.PageSize())
+	if _, err := q.ReadPage(id, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:7]) != "durable" {
@@ -305,6 +353,151 @@ func TestNewBufferPoolRejectsZeroCapacity(t *testing.T) {
 	p, _ := newTestPager(t, 256)
 	if _, err := NewBufferPool(p, 0); err == nil {
 		t.Fatal("NewBufferPool accepted capacity 0")
+	}
+}
+
+// TestBufferPoolNoStealUnderHook: with a FlushHook installed, dirty
+// frames are not evicted — the pool prefers exhaustion over writing
+// possibly-uncommitted pages (no-steal).
+func TestBufferPoolNoStealUnderHook(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, _ := NewBufferPool(p, 2)
+	hookCalls := 0
+	bp.SetFlushHook(func(id PageID, lsn uint64) error {
+		hookCalls++
+		return nil
+	})
+	a, _ := bp.NewPage()
+	b, _ := bp.NewPage()
+	bp.Unpin(a, true)
+	bp.Unpin(b, true)
+	if _, err := bp.NewPage(); err == nil {
+		t.Fatal("NewPage evicted a dirty frame despite no-steal")
+	}
+	if hookCalls != 0 {
+		t.Fatalf("hook called %d times during failed admission", hookCalls)
+	}
+	// FlushAll cleans the frames (consulting the hook), after which
+	// eviction works again.
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if hookCalls != 2 {
+		t.Fatalf("hook called %d times during FlushAll, want 2", hookCalls)
+	}
+	if _, err := bp.NewPage(); err != nil {
+		t.Fatalf("NewPage still failing after FlushAll: %v", err)
+	}
+}
+
+// TestBufferPoolLogDirty: LogDirty visits dirty frames in PageID order,
+// stamps the returned LSNs, and skips already-logged frames next time.
+func TestBufferPoolLogDirty(t *testing.T) {
+	p, _ := newTestPager(t, 256)
+	bp, _ := NewBufferPool(p, 8)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		f, _ := bp.NewPage()
+		ids = append(ids, f.ID)
+		bp.Unpin(f, true)
+	}
+	var visited []PageID
+	next := uint64(100)
+	log := func(id PageID, data []byte) (uint64, error) {
+		visited = append(visited, id)
+		next++
+		return next, nil
+	}
+	if err := bp.LogDirty(log); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 3 {
+		t.Fatalf("visited %d frames, want 3", len(visited))
+	}
+	for i := 1; i < len(visited); i++ {
+		if visited[i-1] >= visited[i] {
+			t.Fatalf("LogDirty order not ascending: %v", visited)
+		}
+	}
+	// All logged: a second pass visits nothing.
+	visited = nil
+	if err := bp.LogDirty(log); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 0 {
+		t.Fatalf("second LogDirty visited %v", visited)
+	}
+	// Re-dirtying one frame re-queues just that frame.
+	f, _ := bp.Get(ids[1])
+	f.Data[0] = 9
+	bp.Unpin(f, true)
+	visited = nil
+	if err := bp.LogDirty(log); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 1 || visited[0] != ids[1] {
+		t.Fatalf("after re-dirty, visited %v, want [%d]", visited, ids[1])
+	}
+	if f.LSN != next {
+		t.Fatalf("frame LSN = %d, want %d", f.LSN, next)
+	}
+}
+
+// failAfterFile wraps a File and fails WriteAt once armed.
+type failAfterFile struct {
+	File
+	fail bool
+}
+
+func (f *failAfterFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.fail {
+		return 0, errors.New("injected write failure")
+	}
+	return f.File.WriteAt(p, off)
+}
+
+// TestBufferPoolEvictionErrorIsSticky: a failed dirty write-back during
+// eviction must not lose the error — it is counted, surfaced by Err, and
+// returned from subsequent pool calls.
+func TestBufferPoolEvictionErrorIsSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sticky.db")
+	inner, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	ff := &failAfterFile{File: inner.f}
+	p := inner
+	p.f = ff
+
+	bp, _ := NewBufferPool(p, 2)
+	a, _ := bp.NewPage()
+	b, _ := bp.NewPage()
+	bp.Unpin(a, true)
+	bp.Unpin(b, true)
+	c, _ := bp.NewPage() // evicts a (write-back succeeds, device healthy)
+	bp.Unpin(c, true)
+
+	// Now frames b and c are resident and dirty; re-reading a must evict
+	// one of them, and that write-back fails.
+	ff.fail = true
+	if _, err := bp.Get(a.ID); err == nil {
+		t.Fatal("Get succeeded while write-backs fail")
+	}
+	if err := bp.Err(); err == nil {
+		t.Fatal("Err() returned nil after failed write-back")
+	}
+	if st := bp.Stats(); st.FailedWriteBacks == 0 {
+		t.Fatalf("FailedWriteBacks = 0, want > 0: %+v", st)
+	}
+	// The sticky error surfaces from every later call, even after the
+	// underlying device "recovers".
+	ff.fail = false
+	if _, err := bp.Get(a.ID); err == nil {
+		t.Fatal("Get did not surface the sticky I/O error")
+	}
+	if err := bp.FlushAll(); err == nil {
+		t.Fatal("FlushAll did not surface the sticky I/O error")
 	}
 }
 
@@ -357,7 +550,7 @@ func TestPagerStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.TotalPages != 1 || s.FreePages != 0 || s.PageSize != 256 {
+	if s.TotalPages != 1 || s.FreePages != 0 || s.PageSize != 256-PageFooterSize {
 		t.Fatalf("fresh stats: %+v", s)
 	}
 	a, _ := p.Alloc()

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"walrus/internal/store"
+)
+
+// RecoveryStats reports what Recover found and did.
+type RecoveryStats struct {
+	// Replayed is true when the log contained at least one committed
+	// record — i.e. the database was not shut down cleanly.
+	Replayed bool
+	// RecordsScanned counts records in the committed region of the log.
+	RecordsScanned int
+	// PagesApplied counts page images written to the page file.
+	PagesApplied int
+	// PagesSkipped counts page images whose LSN did not exceed the
+	// on-disk page LSN (already reflected; the ARIES pageLSN test).
+	PagesSkipped int
+	// AppRecords counts app records delivered to the callback.
+	AppRecords int
+	// Commits and Checkpoints count the respective markers.
+	Commits, Checkpoints int
+	// TornBytes is the number of trailing log bytes discarded: a torn or
+	// corrupt tail plus any complete records of an uncommitted trailing
+	// transaction.
+	TornBytes int64
+	// LastCheckpointLSN is the LSN of the last checkpoint record in the
+	// committed region (0 if none).
+	LastCheckpointLSN LSN
+}
+
+// AppFunc receives committed app records during recovery, oldest first.
+// The database layer filters by LSN against its catalog snapshot.
+type AppFunc func(lsn LSN, kind byte, payload []byte) error
+
+// scanned is one well-formed record found by scanLog.
+type scanned struct {
+	off     int64 // offset of the record header, relative to the record region
+	typ     byte
+	kind    byte
+	pageID  uint32
+	payload []byte // aliases the scanned buffer
+}
+
+// scanLog parses the record region of a log (everything after the
+// header). It stops at the first torn, truncated or corrupt record and
+// returns the well-formed prefix, the end offset of the last committed
+// transaction (commit or checkpoint marker), and the index just past the
+// last checkpoint (0 if none). pageSize bounds plausible payload sizes.
+func scanLog(data []byte, pageSize int) (recs []scanned, commitEnd int64, afterCkpt int, lastCkpt int) {
+	maxPayload := pageSize
+	if maxPayload < 1<<20 {
+		maxPayload = 1 << 20 // app records (catalog deltas) can outgrow a page
+	}
+	usable := pageSize - store.PageFooterSize
+	lastCkpt = -1
+	var off int64
+	for int64(len(data))-off >= RecordOverhead {
+		h := data[off : off+RecordOverhead]
+		plen := int(binary.LittleEndian.Uint32(h[0:]))
+		typ := h[8]
+		if typ < recPage || typ > recApp || plen > maxPayload {
+			break
+		}
+		if typ == recPage && plen != usable {
+			break
+		}
+		end := off + RecordOverhead + int64(plen)
+		if end > int64(len(data)) {
+			break // torn tail: record extends past the file
+		}
+		payload := data[off+RecordOverhead : end]
+		sum := crc32.Checksum(h[8:RecordOverhead], walCRC)
+		sum = crc32.Update(sum, walCRC, payload)
+		if binary.LittleEndian.Uint32(h[4:]) != sum {
+			break
+		}
+		recs = append(recs, scanned{
+			off:     off,
+			typ:     typ,
+			kind:    h[9],
+			pageID:  binary.LittleEndian.Uint32(h[12:]),
+			payload: payload,
+		})
+		if typ == recCommit || typ == recCheckpoint {
+			commitEnd = end
+		}
+		if typ == recCheckpoint {
+			afterCkpt = len(recs)
+			lastCkpt = len(recs) - 1
+		}
+		off = end
+	}
+	// Trim records of the uncommitted trailing transaction.
+	n := len(recs)
+	for n > 0 && recs[n-1].off+RecordOverhead+int64(len(recs[n-1].payload)) > commitEnd {
+		n--
+	}
+	return recs[:n], commitEnd, afterCkpt, lastCkpt
+}
+
+// readAll reads a File from the start until EOF.
+func readAll(f store.File) ([]byte, error) {
+	var out []byte
+	buf := make([]byte, 1<<16)
+	var off int64
+	for {
+		n, err := f.ReadAt(buf, off)
+		out = append(out, buf[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// Recover replays logFile against dbFile (the page file, accessed below
+// the Pager) and returns a Log positioned for appending after the last
+// committed record.
+//
+// The scan walks the record region from the front, stops at the first
+// torn or corrupt record, and discards everything after the last commit
+// or checkpoint marker — an in-flight transaction's records are dropped
+// wholesale, which together with the no-steal buffer-pool policy makes
+// every operation atomic across crashes. Page images after the last
+// checkpoint are reapplied if their LSN exceeds the on-disk page LSN (a
+// page whose footer fails its checksum — a torn page write — counts as
+// LSN 0 and is always repaired). Committed app records are handed to
+// onApp oldest-first, including those before the checkpoint, because the
+// catalog snapshot may predate it; the caller filters by LSN. Finally
+// the log is truncated to the committed region.
+//
+// If the log header itself is unreadable (torn during Reset), the log is
+// reinitialized empty with fallbackPageSize and fallbackBase, which the
+// caller recovers from the page file's meta (store.PeekMeta).
+func Recover(logFile, dbFile store.File, fallbackPageSize int, fallbackBase LSN, onApp AppFunc) (*Log, RecoveryStats, error) {
+	var stats RecoveryStats
+	raw, err := readAll(logFile)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: reading log: %w", err)
+	}
+	pageSize, base, ok := decodeHeader(raw)
+	if !ok {
+		// A torn header can only result from a crash during Reset, at
+		// which point the previous generation was fully checkpointed:
+		// the page file and catalog are self-consistent and the log
+		// carries nothing to replay.
+		stats.TornBytes = int64(len(raw))
+		l, err := Create(logFile, fallbackPageSize, fallbackBase)
+		return l, stats, err
+	}
+
+	recs, commitEnd, afterCkpt, lastCkpt := scanLog(raw[headerSize:], pageSize)
+	stats.RecordsScanned = len(recs)
+	stats.TornBytes = int64(len(raw)) - (headerSize + commitEnd)
+	stats.Replayed = len(recs) > 0
+	if lastCkpt >= 0 {
+		stats.LastCheckpointLSN = base + LSN(recs[lastCkpt].off)
+	}
+
+	// Redo pass: reapply committed page images after the last checkpoint.
+	usable := pageSize - store.PageFooterSize
+	page := make([]byte, pageSize)
+	for _, r := range recs {
+		switch r.typ {
+		case recCommit:
+			stats.Commits++
+		case recCheckpoint:
+			stats.Checkpoints++
+		}
+	}
+	for _, r := range recs[afterCkpt:] {
+		if r.typ != recPage {
+			continue
+		}
+		recLSN := base + LSN(r.off)
+		diskLSN := LSN(0)
+		off := int64(r.pageID) * int64(pageSize)
+		if n, err := dbFile.ReadAt(page, off); err == nil && n == pageSize {
+			if lsn, ok := store.CheckPageFooter(page); ok {
+				diskLSN = LSN(lsn)
+			}
+		}
+		if recLSN <= diskLSN {
+			stats.PagesSkipped++
+			continue
+		}
+		copy(page, r.payload)
+		for i := usable; i < pageSize; i++ {
+			page[i] = 0
+		}
+		store.StampPageFooter(page, uint64(recLSN))
+		if _, err := dbFile.WriteAt(page, off); err != nil {
+			return nil, stats, fmt.Errorf("wal: replaying page %d: %w", r.pageID, err)
+		}
+		stats.PagesApplied++
+	}
+	if stats.PagesApplied > 0 {
+		if err := dbFile.Sync(); err != nil {
+			return nil, stats, fmt.Errorf("wal: syncing page file after replay: %w", err)
+		}
+	}
+
+	// Deliver committed app records (catalog deltas), oldest first.
+	for _, r := range recs {
+		if r.typ != recApp {
+			continue
+		}
+		stats.AppRecords++
+		if onApp != nil {
+			if err := onApp(base+LSN(r.off), r.kind, r.payload); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+
+	// Drop the torn/uncommitted tail so new appends start clean.
+	logEnd := headerSize + commitEnd
+	if int64(len(raw)) > logEnd {
+		if err := logFile.Truncate(logEnd); err != nil {
+			return nil, stats, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	l := &Log{f: logFile, pageSize: pageSize, base: base, written: logEnd, durable: logEnd}
+	return l, stats, nil
+}

@@ -1,6 +1,7 @@
 package walrus
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -9,11 +10,13 @@ import (
 	"walrus/internal/region"
 	"walrus/internal/rstar"
 	"walrus/internal/store"
+	"walrus/internal/wal"
 )
 
 // File names inside a disk-backed database directory.
 const (
 	indexFileName   = "index.db"
+	walFileName     = "wal.log"
 	catalogFileName = "catalog.gob"
 )
 
@@ -21,18 +24,77 @@ const (
 // page (slots 0-2 belong to the paged R*-tree).
 const heapRootSlot = 3
 
+// Durability machinery tuning.
+const (
+	// poolCapacity is the buffer pool size in pages.
+	poolCapacity = 256
+	// groupCommitBytes is the fsync threshold of DurabilityGroupCommit:
+	// the log is forced once this many unsynced bytes accumulate.
+	groupCommitBytes = 256 << 10
+	// walSoftLimit triggers an automatic checkpoint (which truncates the
+	// log) once the log outgrows it.
+	walSoftLimit = 4 << 20
+	// initialLSN starts the LSN stream at 1 because LSN 0 means "never
+	// logged" throughout the storage layer.
+	initialLSN = wal.LSN(1)
+)
+
+// WAL app-record kinds (the wal package treats them as opaque).
+const (
+	// kindDelta tags a gob-encoded walDelta: one committed catalog change.
+	kindDelta = 1
+	// kindRebuild marks the start of an unlogged bulk rebuild
+	// (CreateFrom). Seeing one after the last checkpoint during recovery
+	// means the rebuild was interrupted and the database is unusable.
+	kindRebuild = 2
+)
+
+// walDelta operations.
+const (
+	deltaAdd    = 1
+	deltaRemove = 2
+)
+
+// walDelta is the logical catalog change of one committed operation. Page
+// images in the log rebuild the index and heap; deltas rebuild the
+// in-memory catalog (image metadata and the payload directory) that the
+// catalog file only captures as of the last checkpoint.
+type walDelta struct {
+	Op   uint8
+	ID   string
+	W, H int
+	// RIDs holds the packed heap record ids of the image's regions, in
+	// local order (deltaAdd only).
+	RIDs []uint64
+}
+
 // persistState holds the disk machinery of a disk-backed DB. The page
 // file carries both the R*-tree nodes and a slotted-page heap with every
 // region's serialized payload (signature, bounding box, bitmap) — the
 // paper stores these "in the index along with the signature of each
-// region" (Section 5.4). The catalog file holds only image metadata and
-// the payload directory.
+// region" (Section 5.4). The catalog file holds image metadata and the
+// payload directory as of the last checkpoint; the write-ahead log makes
+// every operation since then atomic and (policy permitting) durable.
 type persistState struct {
 	dir  string
+	fs   FileOpener // resolved: never nil
 	pg   *store.Pager
 	pool *store.BufferPool
 	ps   *rstar.PagedStore
 	heap *store.HeapFile
+	wal  *wal.Log
+
+	policy   DurabilityPolicy
+	metaVer  uint64 // pager meta version captured by the last logged meta image
+	lastLSN  uint64 // LastLSN of the on-disk catalog
+	recovery RecoveryStats
+	unlogged bool // bulk rebuild in progress: suspend logging
+}
+
+// flushHook enforces the log-before-flush invariant: the buffer pool
+// consults it before any dirty page write-back.
+func (p *persistState) flushHook(id store.PageID, lsn uint64) error {
+	return p.wal.EnsureDurable(wal.LSN(lsn), p.policy != DurabilityNone)
 }
 
 // catalogImage is the persisted image metadata (regions live in the heap).
@@ -47,6 +109,9 @@ type catalogData struct {
 	Opts   Options
 	Images []catalogImage
 	Refs   []regionRef
+	// LastLSN is the WAL position of the checkpoint this catalog
+	// snapshot belongs to; recovery replays only deltas past it.
+	LastLSN uint64
 }
 
 // Create creates a disk-backed database in dir (which is created if
@@ -62,49 +127,78 @@ func Create(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("walrus: creating %s: %w", dir, err)
 	}
-	pg, err := store.Create(filepath.Join(dir, indexFileName), store.DefaultPageSize)
+	fs := resolveFS(opts.FS)
+	f, err := fs(filepath.Join(dir, indexFileName), os.O_RDWR|os.O_CREATE|os.O_TRUNC)
 	if err != nil {
+		return nil, fmt.Errorf("walrus: creating index file: %w", err)
+	}
+	pg, err := store.CreateFile(f, store.DefaultPageSize)
+	if err != nil {
+		f.Close()
 		return nil, err
 	}
-	pool, err := store.NewBufferPool(pg, 256)
+	pg.SetWALBase(uint64(initialLSN))
+	wf, err := fs(filepath.Join(dir, walFileName), os.O_RDWR|os.O_CREATE)
 	if err != nil {
 		pg.Close()
+		return nil, fmt.Errorf("walrus: creating WAL file: %w", err)
+	}
+	w, err := wal.Create(wf, pg.PhysicalPageSize(), initialLSN)
+	if err != nil {
+		pg.Close()
+		wf.Close()
 		return nil, err
 	}
-	ps, err := rstar.NewPagedStore(pg, pool, opts.Region.Dim())
-	if err != nil {
+	p := &persistState{dir: dir, fs: fs, pg: pg, wal: w, policy: opts.Durability}
+	closeAll := func() {
+		w.Close()
 		pg.Close()
+	}
+	p.pool, err = store.NewBufferPool(pg, poolCapacity)
+	if err != nil {
+		closeAll()
 		return nil, err
 	}
-	tree, err := rstar.New(ps)
+	p.pool.SetFlushHook(p.flushHook)
+	p.ps, err = rstar.NewPagedStore(pg, p.pool, opts.Region.Dim())
 	if err != nil {
-		pg.Close()
+		closeAll()
 		return nil, err
 	}
-	heap, err := store.NewHeapFile(pg, pool, heapRootSlot)
+	tree, err := rstar.New(p.ps)
 	if err != nil {
-		pg.Close()
+		closeAll()
+		return nil, err
+	}
+	p.heap, err = store.NewHeapFile(pg, p.pool, heapRootSlot)
+	if err != nil {
+		closeAll()
 		return nil, err
 	}
 	db.tree = tree
-	db.persist = &persistState{dir: dir, pg: pg, pool: pool, ps: ps, heap: heap}
+	db.persist = p
 	if err := db.Flush(); err != nil {
-		pg.Close()
+		closeAll()
 		return nil, err
 	}
 	return db, nil
 }
 
-// Open reopens a disk-backed database created by Create, rebuilding the
-// in-memory region cache from the heap file.
-func Open(dir string) (*DB, error) {
-	f, err := os.Open(filepath.Join(dir, catalogFileName))
+// Open reopens a disk-backed database created by Create, running crash
+// recovery if the database was not closed cleanly (see DB.Recovery) and
+// rebuilding the in-memory region cache from the heap file.
+func Open(dir string) (*DB, error) { return OpenFS(dir, nil) }
+
+// OpenFS is Open with an explicit filesystem seam; nil fs uses the real
+// filesystem. Crash-recovery tests pass a fault-injecting opener.
+func OpenFS(dir string, fs FileOpener) (*DB, error) {
+	cf, err := os.Open(filepath.Join(dir, catalogFileName))
 	if err != nil {
 		return nil, fmt.Errorf("walrus: opening catalog: %w", err)
 	}
 	var cat catalogData
-	err = gob.NewDecoder(f).Decode(&cat)
-	f.Close()
+	err = gob.NewDecoder(cf).Decode(&cat)
+	cf.Close()
 	if err != nil {
 		return nil, fmt.Errorf("walrus: decoding catalog: %w", err)
 	}
@@ -112,28 +206,84 @@ func Open(dir string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	pg, err := store.Open(filepath.Join(dir, indexFileName))
+	db.opts.FS = fs
+	opener := resolveFS(fs)
+	f, err := opener(filepath.Join(dir, indexFileName), os.O_RDWR)
 	if err != nil {
+		return nil, fmt.Errorf("walrus: opening index file: %w", err)
+	}
+	wf, err := opener(filepath.Join(dir, walFileName), os.O_RDWR|os.O_CREATE)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("walrus: opening WAL file: %w", err)
+	}
+
+	// Replay the log below the pager. The fallbacks are only consulted
+	// when the log header itself is torn, which can happen solely during
+	// a log truncation — and the base was synced into the page file's
+	// meta immediately before every truncation.
+	fallbackSize, fallbackBase, ok := store.PeekMeta(f)
+	if !ok {
+		fallbackSize, fallbackBase = store.DefaultPageSize, uint64(initialLSN)
+	}
+	type appRec struct {
+		lsn     wal.LSN
+		kind    byte
+		payload []byte
+	}
+	var apps []appRec
+	w, stats, err := wal.Recover(wf, f, fallbackSize, wal.LSN(fallbackBase),
+		func(lsn wal.LSN, kind byte, payload []byte) error {
+			apps = append(apps, appRec{lsn, kind, append([]byte(nil), payload...)})
+			return nil
+		})
+	if err != nil {
+		f.Close()
+		wf.Close()
+		return nil, fmt.Errorf("walrus: recovering %s: %w", dir, err)
+	}
+	for _, a := range apps {
+		if a.kind == kindRebuild && a.lsn > stats.LastCheckpointLSN {
+			w.Close()
+			f.Close()
+			return nil, fmt.Errorf("walrus: bulk rebuild of %s was interrupted by a crash; re-run CreateFrom", dir)
+		}
+	}
+
+	pg, err := store.OpenFile(f)
+	if err != nil {
+		w.Close()
+		f.Close()
+		return nil, fmt.Errorf("walrus: %s: %w", dir, err)
+	}
+	p := &persistState{
+		dir: dir, fs: opener, pg: pg, wal: w,
+		policy: cat.Opts.Durability, metaVer: pg.MetaVersion(),
+		lastLSN: cat.LastLSN, recovery: stats,
+	}
+	closeAll := func() {
+		w.Close()
+		pg.Close()
+	}
+	p.pool, err = store.NewBufferPool(pg, poolCapacity)
+	if err != nil {
+		closeAll()
 		return nil, err
 	}
-	pool, err := store.NewBufferPool(pg, 256)
+	p.pool.SetFlushHook(p.flushHook)
+	p.ps, err = rstar.NewPagedStore(pg, p.pool, cat.Opts.Region.Dim())
 	if err != nil {
-		pg.Close()
+		closeAll()
 		return nil, err
 	}
-	ps, err := rstar.NewPagedStore(pg, pool, cat.Opts.Region.Dim())
+	tree, err := rstar.Load(p.ps)
 	if err != nil {
-		pg.Close()
+		closeAll()
 		return nil, err
 	}
-	tree, err := rstar.Load(ps)
+	p.heap, err = store.OpenHeapFile(pg, p.pool, heapRootSlot)
 	if err != nil {
-		pg.Close()
-		return nil, err
-	}
-	heap, err := store.OpenHeapFile(pg, pool, heapRootSlot)
-	if err != nil {
-		pg.Close()
+		closeAll()
 		return nil, err
 	}
 
@@ -148,56 +298,206 @@ func Open(dir string) (*DB, error) {
 		}
 	}
 	db.refs = cat.Refs
-	for _, ref := range cat.Refs {
+
+	// Reapply committed catalog deltas past the catalog snapshot (the
+	// page images carrying the same operations' index and heap changes
+	// were already replayed above).
+	for _, a := range apps {
+		if a.kind != kindDelta || uint64(a.lsn) <= cat.LastLSN {
+			continue
+		}
+		var d walDelta
+		if err := gob.NewDecoder(bytes.NewReader(a.payload)).Decode(&d); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("walrus: decoding WAL delta: %w", err)
+		}
+		if err := db.applyDelta(&d); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	for _, ref := range db.refs {
 		if ref.Local < 0 {
 			continue
 		}
-		rec, err := heap.Get(store.UnpackRID(ref.RID))
+		rec, err := p.heap.Get(store.UnpackRID(ref.RID))
 		if err != nil {
-			pg.Close()
+			closeAll()
 			return nil, fmt.Errorf("walrus: loading region payload: %w", err)
 		}
 		var r region.Region
 		if err := r.UnmarshalBinary(rec); err != nil {
-			pg.Close()
+			closeAll()
 			return nil, fmt.Errorf("walrus: decoding region payload: %w", err)
 		}
 		if ref.Image >= len(db.images) || ref.Local >= len(db.images[ref.Image].Regions) {
-			pg.Close()
+			closeAll()
 			return nil, fmt.Errorf("walrus: catalog region directory is inconsistent")
 		}
 		db.images[ref.Image].Regions[ref.Local] = r
 	}
 
 	db.tree = tree
-	db.persist = &persistState{dir: dir, pg: pg, pool: pool, ps: ps, heap: heap}
+	db.persist = p
 	return db, nil
 }
 
-// Flush writes the catalog and all dirty index pages to disk. It is a
-// no-op for in-memory databases. Flush takes the write lock: concurrent
-// flushes would race on the catalog temp file.
-func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.flushLocked()
+// applyDelta replays one committed catalog delta onto the in-memory
+// catalog, mirroring exactly what addExtracted and Remove do to it.
+func (db *DB) applyDelta(d *walDelta) error {
+	switch d.Op {
+	case deltaAdd:
+		imgIdx := len(db.images)
+		rec := imageRecord{ID: d.ID, W: d.W, H: d.H}
+		if len(d.RIDs) > 0 {
+			rec.Regions = make([]region.Region, len(d.RIDs))
+		}
+		db.images = append(db.images, rec)
+		db.byID[d.ID] = imgIdx
+		for local, rid := range d.RIDs {
+			db.refs = append(db.refs, regionRef{Image: imgIdx, Local: local, RID: rid})
+		}
+	case deltaRemove:
+		imgIdx, ok := db.byID[d.ID]
+		if !ok {
+			return fmt.Errorf("walrus: WAL removes unknown image %q", d.ID)
+		}
+		for i := range db.refs {
+			if db.refs[i].Image == imgIdx && db.refs[i].Local >= 0 {
+				db.refs[i].Local = -1
+			}
+		}
+		delete(db.byID, d.ID)
+		db.images[imgIdx].Regions = nil
+		db.images[imgIdx].ID = ""
+	default:
+		return fmt.Errorf("walrus: unknown WAL delta op %d", d.Op)
+	}
+	return nil
 }
 
-func (db *DB) flushLocked() error {
-	if db.persist == nil {
+// logPendingLocked captures redo images of every page changed since its
+// last logging, plus the pager meta page if allocation state moved, into
+// the WAL. Caller holds db.mu.
+func (db *DB) logPendingLocked() error {
+	p := db.persist
+	if err := p.pool.LogDirty(func(id store.PageID, data []byte) (uint64, error) {
+		return uint64(p.wal.AppendPage(uint32(id), data)), nil
+	}); err != nil {
+		return err
+	}
+	if v := p.pg.MetaVersion(); v != p.metaVer {
+		lsn := p.wal.AppendPage(0, p.pg.MetaImage())
+		p.pg.SetMetaLSN(uint64(lsn))
+		p.metaVer = v
+	}
+	return nil
+}
+
+// commitLocked ends one mutating operation: it logs redo images of every
+// page the operation touched, the catalog delta, and a commit marker,
+// then applies the durability policy and (occasionally) checkpoints.
+// Together with the buffer pool's no-steal policy this makes the
+// operation atomic across crashes: recovery either replays it fully or
+// discards it wholesale. Caller holds db.mu.
+func (db *DB) commitLocked(delta *walDelta) error {
+	p := db.persist
+	if p == nil || p.unlogged {
 		return nil
 	}
-	cat := catalogData{Opts: db.opts, Refs: db.refs}
+	if err := db.logPendingLocked(); err != nil {
+		return err
+	}
+	if delta != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(delta); err != nil {
+			return fmt.Errorf("walrus: encoding WAL delta: %w", err)
+		}
+		p.wal.AppendApp(kindDelta, buf.Bytes())
+	}
+	p.wal.AppendCommit()
+	var err error
+	switch p.policy {
+	case DurabilityAlways:
+		err = p.wal.Sync()
+	case DurabilityNone:
+		err = p.wal.Flush()
+	default: // DurabilityGroupCommit
+		err = p.wal.MaybeSync(groupCommitBytes)
+	}
+	if err != nil {
+		return err
+	}
+	if p.pool.DirtyCount() >= poolCapacity*3/4 || p.wal.Size() >= walSoftLimit {
+		return db.checkpointLocked(false)
+	}
+	return nil
+}
+
+// checkpointLocked flushes all dirty state to the page file, snapshots
+// the catalog, and truncates the log. The ordering makes every crash
+// window recoverable:
+//
+//  1. log still-unlogged dirty pages (logPending; they become committed
+//     by the checkpoint record in step 5),
+//  2. force the log durable, so the write-backs of step 4 never overtake
+//     it (log-before-flush),
+//  3. persist the next log generation's base LSN in the page file's
+//     meta, so recovery can rebuild the log header if step 7 is torn,
+//  4. write back every dirty page and sync the page file,
+//  5. append + sync the checkpoint record — recovery now starts here,
+//  6. atomically replace the catalog, stamped with the checkpoint LSN,
+//  7. truncate the log, starting the next generation.
+//
+// A crash before step 5 recovers from the old log generation; between 5
+// and 6, from the checkpoint with delta replay; after 6 the catalog is
+// current and replay finds nothing to do. Caller holds db.mu.
+func (db *DB) checkpointLocked(logPending bool) error {
+	p := db.persist
+	if logPending {
+		if err := db.logPendingLocked(); err != nil {
+			return err
+		}
+	}
+	if err := p.wal.Sync(); err != nil {
+		return err
+	}
+	newBase := p.wal.EndLSN() + wal.RecordOverhead
+	p.pg.SetWALBase(uint64(newBase))
+	if err := p.pool.FlushAll(); err != nil {
+		return err
+	}
+	ckLSN, err := p.wal.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if err := db.writeCatalogLocked(uint64(ckLSN)); err != nil {
+		return err
+	}
+	if err := p.wal.Reset(newBase); err != nil {
+		return err
+	}
+	p.metaVer = p.pg.MetaVersion()
+	return nil
+}
+
+// writeCatalogLocked atomically replaces the catalog file: encode to a
+// temp file, fsync it, rename over the old catalog, fsync the directory.
+// Caller holds db.mu.
+func (db *DB) writeCatalogLocked(lastLSN uint64) error {
+	p := db.persist
+	cat := catalogData{Opts: db.opts, Refs: db.refs, LastLSN: lastLSN}
 	cat.Images = make([]catalogImage, len(db.images))
 	for i, rec := range db.images {
 		cat.Images[i] = catalogImage{ID: rec.ID, W: rec.W, H: rec.H, NumRegions: len(rec.Regions)}
 	}
-	tmp := filepath.Join(db.persist.dir, catalogFileName+".tmp")
-	f, err := os.Create(tmp)
+	tmp := filepath.Join(p.dir, catalogFileName+".tmp")
+	f, err := p.fs(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC)
 	if err != nil {
 		return fmt.Errorf("walrus: writing catalog: %w", err)
 	}
-	if err := gob.NewEncoder(f).Encode(&cat); err != nil {
+	if err := gob.NewEncoder(&fileWriter{f: f}).Encode(&cat); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("walrus: encoding catalog: %w", err)
@@ -211,10 +511,62 @@ func (db *DB) flushLocked() error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(db.persist.dir, catalogFileName)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(p.dir, catalogFileName)); err != nil {
 		return err
 	}
-	return db.persist.ps.Flush()
+	syncDir(p.dir)
+	p.lastLSN = lastLSN
+	return nil
+}
+
+// fileWriter adapts a store.File to io.Writer for the catalog encoder.
+type fileWriter struct {
+	f   store.File
+	off int64
+}
+
+func (w *fileWriter) Write(b []byte) (int, error) {
+	n, err := w.f.WriteAt(b, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Errors are ignored: some filesystems reject directory fsync,
+// and the rename itself already ordered correctly on those that matter.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Flush checkpoints a disk-backed database: all dirty pages reach the
+// page file, the catalog is rewritten, and the write-ahead log is
+// truncated. It is a no-op for in-memory databases. Flush takes the
+// write lock: concurrent flushes would race on the catalog temp file.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	p := db.persist
+	if p == nil {
+		return nil
+	}
+	if p.unlogged {
+		// Bulk rebuild: write everything directly; endBulkLoad will
+		// checkpoint when the rebuild is complete.
+		if err := p.pool.FlushAll(); err != nil {
+			return err
+		}
+		return db.writeCatalogLocked(p.lastLSN)
+	}
+	return db.checkpointLocked(true)
 }
 
 // Close flushes and releases a disk-backed database. In-memory databases
@@ -225,12 +577,14 @@ func (db *DB) Close() error {
 	if db.persist == nil {
 		return nil
 	}
-	if err := db.flushLocked(); err != nil {
-		db.persist.pg.Close()
-		db.persist = nil
-		return err
+	p := db.persist
+	err := db.flushLocked()
+	if werr := p.wal.Close(); err == nil {
+		err = werr
 	}
-	err := db.persist.pg.Close()
+	if perr := p.pg.Close(); err == nil {
+		err = perr
+	}
 	db.persist = nil
 	return err
 }

@@ -60,6 +60,15 @@ type Options struct {
 	// GOMAXPROCS; 1 forces the serial path. The indexed regions and all
 	// query results are identical for every setting.
 	Parallelism int
+	// Durability selects how aggressively a disk-backed database fsyncs
+	// its write-ahead log (see DurabilityPolicy). Ignored by in-memory
+	// databases. The zero value is DurabilityGroupCommit.
+	Durability DurabilityPolicy
+	// FS, when non-nil, opens the files of a disk-backed database in
+	// place of the real filesystem — the fault-injection seam used by
+	// crash-recovery tests. Func fields are ignored by gob, so it is
+	// never persisted in the catalog.
+	FS FileOpener
 }
 
 // DefaultOptions mirrors the parameter choices of the paper's retrieval
@@ -451,6 +460,11 @@ func (db *DB) Remove(id string) (bool, error) {
 	delete(db.byID, id)
 	db.images[imgIdx].Regions = nil
 	db.images[imgIdx].ID = ""
+	if db.persist != nil {
+		if err := db.commitLocked(&walDelta{Op: deltaRemove, ID: id}); err != nil {
+			return true, err
+		}
+	}
 	return true, nil
 }
 
