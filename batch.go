@@ -71,7 +71,7 @@ func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) 
 			rids = append(rids, ref.RID)
 		}
 		db.refs = append(db.refs, ref)
-		if err := db.tree.Insert(db.signatureRect(r), payload); err != nil {
+		if err := db.tree.Insert(db.signatureRectLocked(r), payload); err != nil {
 			return fmt.Errorf("walrus: indexing region of %q: %w", id, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package walrus
 
 import (
+	"errors"
 	"fmt"
 
 	"walrus/internal/rstar"
@@ -40,7 +41,7 @@ func BuildFrom(opts Options, items []BatchItem, workers int) (*DB, error) {
 		for local, r := range extracted[i] {
 			payloads = append(payloads, int64(len(db.refs)))
 			db.refs = append(db.refs, regionRef{Image: imgIdx, Local: local})
-			rects = append(rects, db.signatureRect(r))
+			rects = append(rects, db.signatureRectLocked(r))
 		}
 	}
 
@@ -74,8 +75,7 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 		return nil, err
 	}
 	if err := db.beginBulkLoad(); err != nil {
-		db.Close()
-		return nil, err
+		return nil, errors.Join(err, db.Close())
 	}
 	extracted, errs := db.extractAll(items, workers)
 
@@ -83,12 +83,10 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 	var payloads []int64
 	for i, it := range items {
 		if errs[i] != nil {
-			db.Close()
-			return nil, fmt.Errorf("walrus: extracting regions of %q: %w", it.ID, errs[i])
+			return nil, errors.Join(fmt.Errorf("walrus: extracting regions of %q: %w", it.ID, errs[i]), db.Close())
 		}
 		if _, dup := db.byID[it.ID]; dup {
-			db.Close()
-			return nil, fmt.Errorf("walrus: duplicate image id %q", it.ID)
+			return nil, errors.Join(fmt.Errorf("walrus: duplicate image id %q", it.ID), db.Close())
 		}
 		imgIdx := len(db.images)
 		db.images = append(db.images, imageRecord{ID: it.ID, W: it.Image.W, H: it.Image.H, Regions: extracted[i]})
@@ -96,29 +94,25 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 		for local, r := range extracted[i] {
 			rec, err := r.MarshalBinary()
 			if err != nil {
-				db.Close()
-				return nil, fmt.Errorf("walrus: encoding region of %q: %w", it.ID, err)
+				return nil, errors.Join(fmt.Errorf("walrus: encoding region of %q: %w", it.ID, err), db.Close())
 			}
 			rid, err := db.persist.heap.Insert(rec)
 			if err != nil {
-				db.Close()
-				return nil, fmt.Errorf("walrus: storing region of %q: %w", it.ID, err)
+				return nil, errors.Join(fmt.Errorf("walrus: storing region of %q: %w", it.ID, err), db.Close())
 			}
 			payloads = append(payloads, int64(len(db.refs)))
 			db.refs = append(db.refs, regionRef{Image: imgIdx, Local: local, RID: rid.Pack()})
-			rects = append(rects, db.signatureRect(r))
+			rects = append(rects, db.signatureRectLocked(r))
 		}
 	}
 
 	tree, err := rstar.BulkLoad(db.persist.ps, rects, payloads)
 	if err != nil {
-		db.Close()
-		return nil, err
+		return nil, errors.Join(err, db.Close())
 	}
 	db.tree = tree
 	if err := db.endBulkLoad(); err != nil {
-		db.Close()
-		return nil, err
+		return nil, errors.Join(err, db.Close())
 	}
 	return db, nil
 }

@@ -1,6 +1,8 @@
 #!/bin/sh
 # CI gate for the WALRUS repo. Tiers:
-#   1. formatting + static analysis (gofmt, go vet)
+#   1. formatting + static analysis (gofmt, go vet, walrus-lint — the
+#      repo's own analyzers: determinism, errsink, lockdiscipline,
+#      parallelconv; see DESIGN.md "Static analysis")
 #   2. build
 #   3. race tier: go test -race -short — runs the concurrency stress
 #      tests (mixed Add/Query/Remove) under the race detector on every PR
@@ -8,6 +10,9 @@
 #   5. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
 #      target (PPM decoder, WAL replay) for a few seconds of random input
 #      on top of their always-on seed corpora
+#   6. vulnerability scan (opt-in): WALRUS_CI_VULN=1 ./ci.sh runs
+#      govulncheck when the tool is installed, and skips gracefully when
+#      it is not
 set -eu
 cd "$(dirname "$0")"
 
@@ -22,6 +27,9 @@ fi
 echo "== tier 0: go vet =="
 go vet ./...
 
+echo "== tier 0: walrus-lint =="
+go run ./cmd/walrus-lint ./...
+
 echo "== tier 1: build =="
 go build ./...
 
@@ -35,6 +43,15 @@ if [ "${WALRUS_CI_FUZZ:-0}" = "1" ]; then
     echo "== tier 2: fuzz smoke =="
     go test -fuzz FuzzDecodePPM -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/imgio
     go test -fuzz FuzzReplayWAL -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/wal
+fi
+
+if [ "${WALRUS_CI_VULN:-0}" = "1" ]; then
+    echo "== tier 2: govulncheck =="
+    if command -v govulncheck >/dev/null 2>&1; then
+        govulncheck ./...
+    else
+        echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+    fi
 fi
 
 echo "CI OK"

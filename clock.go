@@ -1,0 +1,17 @@
+package walrus
+
+import "time"
+
+// statsClock and statsSince isolate the wall-clock reads feeding the
+// QueryStats timing fields. Timing is observability only — it never
+// influences matching, scoring, or result order — so these helpers carry
+// the only sanctioned determinism suppressions in the root package; the
+// pipeline itself must stay clock-free.
+
+func statsClock() time.Time {
+	return time.Now() //walrus:lint-ignore determinism QueryStats timing is observability only and never feeds results
+}
+
+func statsSince(t time.Time) time.Duration {
+	return time.Since(t) //walrus:lint-ignore determinism QueryStats timing is observability only and never feeds results
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"image/png"
@@ -59,8 +60,7 @@ func main() {
 				log.Fatal(err)
 			}
 			if err := png.Encode(f, imgio.ToStdImage(it.Image)); err != nil {
-				f.Close()
-				log.Fatal(err)
+				log.Fatal(errors.Join(err, f.Close()))
 			}
 			if err := f.Close(); err != nil {
 				log.Fatal(err)

@@ -100,7 +100,13 @@ func dbRegions(dir string) int {
 	if err != nil {
 		return 0
 	}
-	defer db.Close()
+	// Read-only reopen: a close error here cannot lose index data, but
+	// surface it anyway rather than silently eating it.
+	defer func() {
+		if cerr := db.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "  closing reopened index: %v\n", cerr)
+		}
+	}()
 	if stats, ok := db.Recovery(); ok && stats.Replayed {
 		fmt.Fprintf(os.Stderr,
 			"  recovered index: %d records scanned, %d pages reapplied, %d catalog deltas, %d torn tail bytes discarded\n",

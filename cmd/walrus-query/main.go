@@ -108,7 +108,7 @@ func loadImage(path string) (*imgio.Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //walrus:lint-ignore errsink file opened read-only; close errors cannot lose data
 	if strings.HasSuffix(path, ".ppm") || strings.HasSuffix(path, ".pgm") {
 		return imgio.DecodePPM(f)
 	}

@@ -125,6 +125,9 @@ func (c *File) WriteAt(p []byte, off int64) (int, error) {
 			if tear > len(p) {
 				tear = len(p)
 			}
+			// The injected kill already decided this write fails; the torn
+			// prefix is deliberately unaccounted, like a real power cut.
+			//walrus:lint-ignore errsink simulating a torn write: the injected failure supersedes the prefix write's error
 			c.f.WriteAt(p[:tear], off)
 		}
 		return 0, err

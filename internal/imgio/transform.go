@@ -1,3 +1,10 @@
+// The robustness transforms double as test inputs for the determinism
+// suite, so this package opts into the determinism analyzer even though
+// it sits outside the signature pipeline: AddNoise and friends must draw
+// exclusively from the caller's seeded source, never the global one.
+//
+//walrus:lint-scope determinism
+
 package imgio
 
 import (

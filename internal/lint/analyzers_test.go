@@ -1,0 +1,59 @@
+package lint
+
+import "testing"
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "determfix", Determinism)
+}
+
+// TestDeterminismScoping proves the analyzer stays silent for packages
+// outside the pipeline that have not opted in, even when they contain
+// would-be violations.
+func TestDeterminismScoping(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir("testdata/src/determnoscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Errorf("determinism fired outside its scope:\n%s", fmtDiags(diags))
+	}
+}
+
+func TestErrSinkFixture(t *testing.T) {
+	runFixture(t, "errsinkfix", ErrSink)
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	runFixture(t, "lockfix", LockDiscipline)
+}
+
+func TestParallelConvFixture(t *testing.T) {
+	runFixture(t, "parfix", ParallelConv)
+}
+
+// TestIgnoreDirectives exercises the //walrus:lint-ignore escape hatch:
+// documented ignores suppress, undocumented ones are diagnostics
+// themselves (and suppress nothing), unknown analyzers and malformed
+// directives are reported.
+func TestIgnoreDirectives(t *testing.T) {
+	runFixture(t, "ignorefix", Determinism)
+}
+
+func TestAllAnalyzersRegistered(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"determinism", "errsink", "lockdiscipline", "parallelconv"} {
+		if !names[want] {
+			t.Errorf("All() is missing analyzer %q", want)
+		}
+	}
+}

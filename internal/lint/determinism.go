@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismScope lists the module-relative package paths whose output
+// must be bit-exact reproducible: the signature-extraction and matching
+// pipeline plus the root package's scoring. internal/experiments and
+// benchmark code stay out of scope by design — wall-clock timing is their
+// job.
+var determinismScope = map[string]bool{
+	"":                 true, // module root: scoring, batch, bulk
+	"internal/wavelet": true,
+	"internal/region":  true,
+	"internal/birch":   true,
+	"internal/rstar":   true,
+	"internal/match":   true,
+}
+
+// forbiddenCalls maps fully-qualified callees to the reason they break
+// reproducibility inside the deterministic pipeline.
+var forbiddenCalls = map[string]string{
+	"time.Now":              "wall-clock read",
+	"time.Since":            "wall-clock read",
+	"time.Until":            "wall-clock read",
+	"math/rand.Int":         "global math/rand source",
+	"math/rand.Intn":        "global math/rand source",
+	"math/rand.Int31":       "global math/rand source",
+	"math/rand.Int31n":      "global math/rand source",
+	"math/rand.Int63":       "global math/rand source",
+	"math/rand.Int63n":      "global math/rand source",
+	"math/rand.Uint32":      "global math/rand source",
+	"math/rand.Uint64":      "global math/rand source",
+	"math/rand.Float32":     "global math/rand source",
+	"math/rand.Float64":     "global math/rand source",
+	"math/rand.ExpFloat64":  "global math/rand source",
+	"math/rand.NormFloat64": "global math/rand source",
+	"math/rand.Perm":        "global math/rand source",
+	"math/rand.Shuffle":     "global math/rand source",
+	"math/rand.Seed":        "global math/rand source",
+	"math/rand/v2.Int":      "global math/rand source",
+	"math/rand/v2.IntN":     "global math/rand source",
+	"math/rand/v2.Float64":  "global math/rand source",
+	"math/rand/v2.Perm":     "global math/rand source",
+	"math/rand/v2.Shuffle":  "global math/rand source",
+}
+
+// Determinism forbids nondeterminism sources inside the signature
+// pipeline packages: wall-clock reads, the global math/rand source,
+// map-range iteration feeding ordered output, and goroutine closures that
+// mutate shared captured state (whose final value then depends on the
+// schedule). Packages outside the default scope can opt in with
+// //walrus:lint-scope determinism.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global rand, map-order and schedule dependence in the signature pipeline",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	pkg := pass.Pkg
+	if !determinismScope[pkg.Rel] && !pkg.ScopedFor(pass.analyzer.Name) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeOf(pkg.Info, st)
+				if reason, bad := forbiddenCalls[funcPath(fn)]; bad {
+					pass.Reportf(st.Pos(), "call to %s.%s (%s) in deterministic package %s", fn.Pkg().Path(), fn.Name(), reason, pkg.ImportPath)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, st)
+			case *ast.GoStmt:
+				if fl, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+					for _, w := range sharedClosureWrites(pkg.Info, fl) {
+						pass.Reportf(w.pos, "goroutine closure %s captured %q: final value depends on goroutine schedule; write a per-index slot instead", w.verb, w.name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags `for k := range m` loops over maps whose iteration
+// order escapes into ordered output. Two accumulation shapes are exempt:
+// order-insensitive integer accumulation (+=, counters) and loops whose
+// collected variable is sorted later in the same enclosing block.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Collect the variables the loop body appends to or assigns through;
+	// they inherit map order.
+	type sink struct {
+		obj  types.Object
+		node ast.Node
+	}
+	var sinks []sink
+	orderSensitive := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				root := rootIdent(lhs)
+				if root == nil {
+					continue
+				}
+				obj := info.Uses[root]
+				if obj == nil {
+					obj = info.Defs[root]
+				}
+				if obj == nil || obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+					continue // loop-local
+				}
+				appendRHS := len(st.Rhs) == len(st.Lhs) && isBuiltinAppend(info, st.Rhs[i])
+				if appendRHS {
+					sinks = append(sinks, sink{obj, st})
+					continue
+				}
+				// Plain writes keyed by the loop variable (m2[k] = v) or
+				// integer accumulation (sum += v) are order-insensitive.
+				if st.Tok.String() == "+=" || st.Tok.String() == "|=" {
+					if tv, ok := info.Types[lhs]; ok && tv.Type != nil {
+						if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+							continue
+						}
+					}
+				}
+				if _, isIdx := ast.Unparen(lhs).(*ast.IndexExpr); isIdx {
+					continue // keyed write: order-independent
+				}
+				orderSensitive = true
+				sinks = append(sinks, sink{obj, st})
+			}
+		}
+		return true
+	})
+	if len(sinks) == 0 && !orderSensitive {
+		return
+	}
+	// Suppress when each sink variable is sorted after the loop in the
+	// same block: `for k := range m { out = append(out, k) }; sort.X(out)`.
+	for _, s := range sinks {
+		if sortedAfter(pass, rng, s.obj) {
+			continue
+		}
+		pass.Reportf(s.node.Pos(), "map iteration order feeds %q without a subsequent sort; range over sorted keys or sort the result", s.obj.Name())
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
+// call in a statement after the range loop inside the same block.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, obj types.Object) bool {
+	info := pass.Pkg.Info
+	found := false
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			idx := -1
+			for i, st := range block.List {
+				if st == ast.Stmt(rng) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return true
+			}
+			for _, st := range block.List[idx+1:] {
+				ast.Inspect(st, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeOf(info, call)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					p := fn.Pkg().Path()
+					if p != "sort" && p != "slices" {
+						return true
+					}
+					for _, arg := range call.Args {
+						if root := rootIdent(arg); root != nil && info.Uses[root] == obj {
+							found = true
+						}
+					}
+					return !found
+				})
+				if found {
+					break
+				}
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}

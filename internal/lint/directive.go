@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //walrus:lint-* comment.
+//
+//	//walrus:lint-ignore <analyzer> <reason...>   suppress a diagnostic
+//	//walrus:lint-scope <analyzer>                opt the package into scope
+//
+// An ignore applies to diagnostics of the named analyzer on the
+// directive's own line (trailing comment) or the line immediately below
+// (standalone comment). The reason is mandatory — Run reports ignores
+// without one, and they suppress nothing.
+type Directive struct {
+	Kind     string // "ignore" or "scope"
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+	Col      int
+}
+
+const (
+	ignoreMarker = "//walrus:lint-ignore"
+	scopeMarker  = "//walrus:lint-scope"
+)
+
+// parseDirectives extracts the lint directives from one parsed file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			var kind, rest string
+			switch {
+			case strings.HasPrefix(c.Text, ignoreMarker):
+				kind, rest = "ignore", c.Text[len(ignoreMarker):]
+			case strings.HasPrefix(c.Text, scopeMarker):
+				kind, rest = "scope", c.Text[len(scopeMarker):]
+			default:
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := Directive{Kind: kind, File: pos.Filename, Line: pos.Line, Col: pos.Column}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				d.Analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}

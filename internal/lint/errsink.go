@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errSinkPackages are the module-relative package paths forming the
+// durability surface: every error produced by their exported API must be
+// observed by callers.
+var errSinkPackages = map[string]bool{
+	"internal/store": true, // store.File, pager, buffer pool, heap
+	"internal/wal":   true,
+	"internal/imgio": true, // PPM/PNG I/O
+}
+
+// ErrSink flags discarded errors from the durability surface: calls on
+// store.File implementations, pager/bufpool/heap/WAL methods, and imgio
+// I/O functions whose error result is dropped (bare expression statement,
+// defer/go statement, or assignment to the blank identifier).
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "flag discarded errors from store.File, pager, bufpool, WAL, and imgio I/O",
+	Run:  runErrSink,
+}
+
+func runErrSink(pass *Pass) {
+	pkg := pass.Pkg
+	fileIface := storeFileInterface(pkg)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				reportDropped(pass, fileIface, st.X, "")
+			case *ast.DeferStmt:
+				reportDropped(pass, fileIface, st.Call, "deferred ")
+			case *ast.GoStmt:
+				reportDropped(pass, fileIface, st.Call, "go ")
+			case *ast.AssignStmt:
+				checkBlankError(pass, fileIface, st)
+			}
+			return true
+		})
+	}
+}
+
+// reportDropped reports expr when it is a durability-surface call whose
+// error results are discarded entirely.
+func reportDropped(pass *Pass, fileIface *types.Interface, expr ast.Expr, how string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, on := surfaceCall(pass.Pkg, fileIface, call)
+	if !on {
+		return
+	}
+	if len(errorResults(pass.Pkg.Info, call)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall to %s discards its error; the durability contract requires every %s error to be observed", how, name, name)
+}
+
+// checkBlankError reports assignments that send a durability-surface
+// error result to the blank identifier.
+func checkBlankError(pass *Pass, fileIface *types.Interface, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, on := surfaceCall(pass.Pkg, fileIface, call)
+	if !on {
+		return
+	}
+	for _, i := range errorResults(pass.Pkg.Info, call) {
+		if i >= len(st.Lhs) {
+			continue
+		}
+		if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(id.Pos(), "error from %s assigned to _; the durability contract requires every %s error to be observed", name, name)
+		}
+	}
+}
+
+// surfaceCall reports whether the call targets the durability surface and
+// returns a short display name for it. A call is on the surface when its
+// receiver's static type implements store.File (covering *os.File and
+// every mock), or when the receiver's named type or the called function
+// is declared in one of the errSinkPackages.
+func surfaceCall(pkg *Package, fileIface *types.Interface, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	// Method call: classify by the receiver expression's static type.
+	if selInfo, ok := pkg.Info.Selections[sel]; ok {
+		recv := selInfo.Recv()
+		if named := namedOf(recv); named != nil {
+			name := named.Obj().Name() + "." + fn.Name()
+			if onSurfacePkg(pkg, named.Obj().Pkg()) {
+				return name, true
+			}
+			if fileIface != nil && (types.Implements(recv, fileIface) ||
+				types.Implements(types.NewPointer(recv), fileIface)) {
+				return name, true
+			}
+			if iface, ok := recv.Underlying().(*types.Interface); ok && fileIface != nil && types.Implements(iface, fileIface) {
+				return name, true
+			}
+		}
+		return "", false
+	}
+	// Package-level function call: classify by the callee's package.
+	if onSurfacePkg(pkg, fn.Pkg()) {
+		return fn.Pkg().Name() + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// namedOf unwraps pointers and returns the named type of t, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// onSurfacePkg reports whether p is one of the durability-surface
+// packages of the module under analysis.
+func onSurfacePkg(pkg *Package, p *types.Package) bool {
+	if p == nil {
+		return false
+	}
+	rel, ok := cutModPrefix(pkg.ModPath, p.Path())
+	return ok && errSinkPackages[rel]
+}
+
+// cutModPrefix returns the module-relative form of path when it belongs
+// to the module.
+func cutModPrefix(modPath, path string) (string, bool) {
+	if path == modPath {
+		return "", true
+	}
+	if len(path) > len(modPath)+1 && path[:len(modPath)] == modPath && path[len(modPath)] == '/' {
+		return path[len(modPath)+1:], true
+	}
+	return "", false
+}
+
+// storeFileInterface resolves the store.File interface type so errsink
+// can classify arbitrary implementations (os.File, mocks) by behaviour.
+// It looks through the package's import graph; nil when the package never
+// pulls in internal/store.
+func storeFileInterface(pkg *Package) *types.Interface {
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if rel, ok := cutModPrefix(pkg.ModPath, p.Path()); ok && rel == "internal/store" {
+			if obj, ok := p.Scope().Lookup("File").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg.Types)
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeOf returns the called function object for a call expression, or
+// nil when the callee is not a named function or method (e.g. a call
+// through a function-typed variable).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPath returns "pkgpath.Name" for a package-level function or
+// "pkgpath.Recv.Name" for a method, e.g. "time.Now" or
+// "math/rand.(*Rand).Intn". Used to match forbidden callees.
+func funcPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			path += "(" + named.Obj().Name() + ")."
+		}
+	}
+	return path + fn.Name()
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errorResults returns the indices of results of the call's type that are
+// of type error. Empty when the call returns no errors.
+func errorResults(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	var out []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if isErrorType(tv.Type) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// rootIdent walks to the base identifier of a chain of selectors, index
+// expressions, stars, and parens: rootIdent(a.b[i].c) == a. Returns nil
+// for expressions not rooted in an identifier (calls, literals).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// capturedBy reports whether the identifier resolves to a variable
+// declared outside the function literal — i.e. captured by the closure.
+func capturedBy(info *types.Info, fl *ast.FuncLit, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() < fl.Pos() || v.Pos() > fl.End()
+}
+
+// closureIndexParams returns the set of objects bound to the closure's
+// own parameters (for `func(i int) { ... }` handed to a worker pool, the
+// index parameter).
+func closureIndexParams(info *types.Info, fl *ast.FuncLit) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	for _, field := range fl.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// indexedByParam reports whether expr is an index expression whose index
+// is (derived from) one of the closure's own parameters — the per-slot
+// write pattern `out[i] = ...` that the parallel contract requires.
+func indexedByParam(info *types.Info, params map[types.Object]bool, expr ast.Expr) bool {
+	idx, ok := ast.Unparen(expr).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && params[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinAppend reports whether e is a call to the built-in append.
+func isBuiltinAppend(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sharedClosureWrite describes one mutation of captured state inside a
+// closure: an assignment/append target rooted outside the closure that is
+// not a per-index slot write.
+type sharedClosureWrite struct {
+	pos  token.Pos
+	name string
+	verb string // "assigns to" or "appends to"
+}
+
+// sharedClosureWrites scans a closure for writes to captured variables
+// that are not indexed by a closure parameter. It is the shared engine
+// behind the parallelconv and determinism goroutine checks.
+func sharedClosureWrites(info *types.Info, fl *ast.FuncLit) []sharedClosureWrite {
+	params := closureIndexParams(info, fl)
+	var out []sharedClosureWrite
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			// Nested closures are inspected on their own when reached by
+			// the caller; their writes are relative to their own params.
+			return false
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				// x, y := ... declares new locals — not captured writes.
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				root := rootIdent(lhs)
+				if root == nil || !capturedBy(info, fl, root) {
+					continue
+				}
+				if indexedByParam(info, params, lhs) {
+					continue
+				}
+				verb := "assigns to"
+				if len(st.Rhs) == len(st.Lhs) && isBuiltinAppend(info, st.Rhs[i]) {
+					verb = "appends to"
+				}
+				out = append(out, sharedClosureWrite{pos: lhs.Pos(), name: root.Name, verb: verb})
+			}
+		case *ast.IncDecStmt:
+			root := rootIdent(st.X)
+			if root != nil && capturedBy(info, fl, root) && !indexedByParam(info, params, st.X) {
+				out = append(out, sharedClosureWrite{pos: st.Pos(), name: root.Name, verb: "assigns to"})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,180 @@
+// Package lint is a stdlib-only static-analysis framework for the WALRUS
+// repository. It loads and type-checks the module's packages (go/parser +
+// go/types, with imports resolved through `go list -export` data, so the
+// module keeps its zero-dependency go.mod) and runs repo-specific
+// analyzers that machine-check the contracts the test suite can only
+// sample:
+//
+//   - determinism: the signature-extraction pipeline must be bit-exact
+//     reproducible — no wall-clock reads, no global math/rand, no
+//     map-iteration order or goroutine schedule leaking into results.
+//   - errsink: every error on the durability surface (store.File, pager,
+//     buffer pool, heap, WAL, imgio I/O) must be observed.
+//   - lockdiscipline: methods of mutex-carrying structs must hold the
+//     documented lock before touching "guarded by mu" fields, and must
+//     not upgrade RLock to Lock.
+//   - parallelconv: closures handed to internal/parallel pools must write
+//     per-index slots, never shared captured state.
+//
+// Diagnostics can be suppressed per line with
+//
+//	//walrus:lint-ignore <analyzer> <reason>
+//
+// where the reason is mandatory: an ignore without one is itself a
+// diagnostic. A package outside an analyzer's default scope can opt in
+// with `//walrus:lint-scope <analyzer>` in any of its files.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	// ImportPath is the package's import path; ModPath the enclosing
+	// module's path; Rel the module-relative package path ("" for the
+	// module root).
+	ImportPath string
+	ModPath    string
+	Rel        string
+	// Dir is the directory the package was loaded from.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Directives are the //walrus:lint-* comment directives found in the
+	// package's files.
+	Directives []Directive
+}
+
+// ScopedFor reports whether any file of the package opts into the named
+// analyzer with a //walrus:lint-scope directive.
+func (p *Package) ScopedFor(analyzer string) bool {
+	for _, d := range p.Directives {
+		if d.Kind == "scope" && d.Analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one analyzer finding at a file position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Analyzer is one named check over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (package, analyzer) run; analyzers report findings
+// through it.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the repo's analyzers in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ErrSink, LockDiscipline, ParallelConv}
+}
+
+// lintIgnoreName is the pseudo-analyzer that owns directive-hygiene
+// diagnostics (malformed or undocumented //walrus:lint-* directives).
+// Its findings cannot be suppressed.
+const lintIgnoreName = "lintignore"
+
+// Run applies the analyzers to every package, enforces directive hygiene,
+// applies //walrus:lint-ignore suppression, and returns the surviving
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	var diags []Diagnostic
+	suppressed := make(map[key]bool)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+		}
+		for _, d := range pkg.Directives {
+			hygiene := func(format string, args ...any) {
+				diags = append(diags, Diagnostic{
+					Analyzer: lintIgnoreName,
+					File:     d.File, Line: d.Line, Col: d.Col,
+					Message: fmt.Sprintf(format, args...),
+				})
+			}
+			switch {
+			case d.Analyzer == "":
+				hygiene("malformed //walrus:lint-%s directive: missing analyzer name", d.Kind)
+			case !known[d.Analyzer]:
+				hygiene("unknown analyzer %q in //walrus:lint-%s directive", d.Analyzer, d.Kind)
+			case d.Kind == "ignore" && d.Reason == "":
+				hygiene("//walrus:lint-ignore %s is missing a reason; document why the diagnostic is suppressed", d.Analyzer)
+			case d.Kind == "ignore":
+				// A well-formed ignore suppresses the analyzer on its own
+				// line (trailing comment) and the next (standalone comment).
+				suppressed[key{d.File, d.Line, d.Analyzer}] = true
+				suppressed[key{d.File, d.Line + 1, d.Analyzer}] = true
+			}
+		}
+	}
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if d.Analyzer != lintIgnoreName && suppressed[key{d.File, d.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

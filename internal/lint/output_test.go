@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "errsink", File: "/mod/persist.go", Line: 12, Col: 3, Message: "dropped error"},
+		{Analyzer: "determinism", File: "/elsewhere/x.go", Line: 1, Col: 1, Message: "wall clock"},
+	}
+	var sb strings.Builder
+	if err := WriteText(&sb, "/mod", diags); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "persist.go:12:3: errsink: dropped error") {
+		t.Errorf("in-module path not relativized:\n%s", got)
+	}
+	if !strings.Contains(got, "/elsewhere/x.go:1:1: determinism: wall clock") {
+		t.Errorf("out-of-module path mangled:\n%s", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "lockdiscipline", File: "a.go", Line: 3, Col: 7, Message: "unlocked access"},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("got %d elements, want 1", len(decoded))
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("JSON diagnostic is missing key %q: %v", key, decoded[0])
+		}
+	}
+}
+
+// TestWriteJSONEmpty pins the clean-run shape: an empty array, never
+// null, so `jq length` and similar tooling work unconditionally.
+func TestWriteJSONEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "[]" {
+		t.Errorf("empty diagnostics encoded as %q, want []", got)
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ParallelConv enforces the internal/parallel calling convention: a
+// closure handed to a worker pool must communicate results by writing the
+// slot indexed by its own parameter (out[i] = ...), never by mutating
+// shared captured state — shared writes race, and even when locked their
+// order depends on the goroutine schedule, which breaks the repo's
+// determinism contract.
+var ParallelConv = &Analyzer{
+	Name: "parallelconv",
+	Doc:  "flag parallel-pool closures mutating shared captured state instead of per-index slots",
+	Run:  runParallelConv,
+}
+
+func runParallelConv(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if rel, inMod := cutModPrefix(pkg.ModPath, fn.Pkg().Path()); !inMod || rel != "internal/parallel" {
+				return true
+			}
+			for _, arg := range call.Args {
+				fl, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				for _, w := range sharedClosureWrites(pkg.Info, fl) {
+					pass.Reportf(w.pos, "parallel closure %s captured %q: worker order is nondeterministic; write a slot indexed by the closure parameter instead", w.verb, w.name)
+				}
+			}
+			return true
+		})
+	}
+}

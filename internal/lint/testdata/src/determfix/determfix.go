@@ -1,0 +1,73 @@
+// Fixture for the determinism analyzer: the package opts in via the
+// scope directive below and mixes violations with the sanctioned
+// patterns (seeded sources, sorted map collection, commutative sums).
+//
+//walrus:lint-scope determinism
+
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `call to time.Now \(wall-clock read\)`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `call to time.Since \(wall-clock read\)`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `call to math/rand.Intn \(global math/rand source\)`
+}
+
+func seededRand(rng *rand.Rand) int {
+	return rng.Intn(10) // seeded source: allowed
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order feeds "keys" without a subsequent sort`
+	}
+	return keys
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: allowed
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative accumulation: allowed
+	}
+	return total
+}
+
+func mapInvert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k // keyed write: order-independent
+	}
+	return inv
+}
+
+func scheduleLeak(n int) []int {
+	var out []int
+	done := make(chan struct{})
+	go func() {
+		out = append(out, n) // want `goroutine closure appends to captured "out"`
+		close(done)
+	}()
+	<-done
+	return out
+}

@@ -1,0 +1,10 @@
+// Fixture proving determinism scoping: this package contains the same
+// wall-clock violation as determfix but carries no scope directive and
+// is not one of the pipeline packages, so the analyzer must stay silent.
+package determnoscope
+
+import "time"
+
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}

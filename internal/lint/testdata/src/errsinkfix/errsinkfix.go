@@ -1,0 +1,41 @@
+// Fixture for the errsink analyzer: dropped and blanked errors from the
+// durability surface (a store.File and an *os.File, which implements it)
+// must be flagged; observed errors and off-surface drops must not.
+package errsinkfix
+
+import (
+	"fmt"
+	"os"
+
+	"walrus/internal/store"
+)
+
+func dropSync(f store.File) {
+	f.Sync() // want `call to File.Sync discards its error`
+}
+
+func dropDeferredClose(f *os.File) error {
+	defer f.Close() // want `deferred call to File.Close discards its error`
+	_, err := f.WriteAt([]byte("x"), 0)
+	return err
+}
+
+func blankTruncate(f store.File) {
+	_ = f.Truncate(0) // want `error from File.Truncate assigned to _`
+}
+
+func blankWriteError(f store.File) int {
+	n, _ := f.WriteAt([]byte("x"), 0) // want `error from File.WriteAt assigned to _`
+	return n
+}
+
+func observed(f store.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func offSurface() {
+	fmt.Println("fmt is not part of the durability surface")
+}

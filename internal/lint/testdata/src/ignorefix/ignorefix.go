@@ -1,0 +1,36 @@
+// Fixture for the //walrus:lint-ignore directive: a documented ignore
+// suppresses its diagnostic, an undocumented one is itself a diagnostic
+// (and suppresses nothing), and unknown or malformed directives are
+// reported.
+//
+//walrus:lint-scope determinism
+
+package ignorefix
+
+import "time"
+
+func documented() int64 {
+	return time.Now().UnixNano() //walrus:lint-ignore determinism fixture exercises a documented suppression
+}
+
+func documentedStandalone() int64 {
+	//walrus:lint-ignore determinism the directive on its own line covers the next line
+	return time.Now().UnixNano()
+}
+
+func undocumented() int64 {
+	// want+2 `//walrus:lint-ignore determinism is missing a reason`
+	// want+2 `call to time.Now`
+	//walrus:lint-ignore determinism
+	return time.Now().UnixNano()
+}
+
+func unknownAnalyzer() {
+	// want+1 `unknown analyzer "bogus" in //walrus:lint-ignore directive`
+	//walrus:lint-ignore bogus this analyzer does not exist
+}
+
+func malformed() {
+	// want+1 `malformed //walrus:lint-ignore directive: missing analyzer name`
+	//walrus:lint-ignore
+}

@@ -1,0 +1,60 @@
+// Fixture for the lockdiscipline analyzer: a struct with a documented
+// RWMutex whose guarded fields are touched with and without the lock.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+
+	hint string // unguarded: informational only
+}
+
+func (c *counter) Good() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) GoodWrite(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = v
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want `c.n is guarded by mu but read without holding it`
+}
+
+func (c *counter) BadWrite(v int) {
+	c.n = v // want `c.n is guarded by mu but written without holding it`
+}
+
+func (c *counter) BadMapWrite(k string, v int) {
+	c.m[k] = v // want `c.m is guarded by mu but written without holding it`
+}
+
+func (c *counter) WriteUnderRLock(v int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n = v // want `c.n written under mu.RLock\(\); writes require the exclusive lock`
+}
+
+func (c *counter) Upgrade() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.mu.Lock() // want `c.mu.Lock\(\) while mu.RLock\(\) is held: RWMutex upgrade deadlocks`
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Unguarded() string {
+	return c.hint // not guarded: allowed
+}
+
+// bumpLocked is exempt by the Locked naming convention.
+func (c *counter) bumpLocked() {
+	c.n++
+}

@@ -1,0 +1,42 @@
+// Fixture for the parallelconv analyzer: closures handed to the
+// internal/parallel pool must write per-index slots, never shared state.
+package parfix
+
+import "walrus/internal/parallel"
+
+func PerSlot(items []int) []int {
+	out := make([]int, len(items))
+	parallel.For(len(items), 4, func(i int) {
+		out[i] = items[i] * 2 // per-index slot: allowed
+	})
+	return out
+}
+
+func SharedAppend(items []int) []int {
+	var out []int
+	parallel.For(len(items), 4, func(i int) {
+		out = append(out, items[i]*2) // want `parallel closure appends to captured "out"`
+	})
+	return out
+}
+
+func SharedCounter(items []int) int {
+	total := 0
+	parallel.For(len(items), 4, func(i int) {
+		total += items[i] // want `parallel closure assigns to captured "total"`
+	})
+	return total
+}
+
+func SharedErr(items []int) error {
+	var firstErr error
+	errs := make([]error, len(items))
+	err := parallel.ForErr(len(items), 4, func(i int) error {
+		firstErr = nil // want `parallel closure assigns to captured "firstErr"`
+		errs[i] = nil  // per-index slot: allowed
+		return nil
+	})
+	_ = errs
+	_ = firstErr
+	return err
+}

@@ -11,6 +11,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -76,8 +77,7 @@ func Create(path string, pageSize int) (*Pager, error) {
 	}
 	p, err := CreateFile(f, pageSize)
 	if err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return p, nil
 }
@@ -106,8 +106,7 @@ func Open(path string) (*Pager, error) {
 	}
 	p, err := OpenFile(f)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("store: %s: %w", path, err), f.Close())
 	}
 	return p, nil
 }
@@ -399,8 +398,7 @@ func (p *Pager) Sync() error {
 // Close syncs and closes the file.
 func (p *Pager) Close() error {
 	if err := p.Sync(); err != nil {
-		p.f.Close()
-		return err
+		return errors.Join(err, p.f.Close())
 	}
 	return p.f.Close()
 }

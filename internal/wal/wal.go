@@ -20,6 +20,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
@@ -302,8 +303,7 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.syncLocked(); err != nil {
-		l.f.Close()
-		return err
+		return errors.Join(err, l.f.Close())
 	}
 	return l.f.Close()
 }

@@ -3,6 +3,7 @@ package walrus
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -134,52 +135,42 @@ func Create(dir string, opts Options) (*DB, error) {
 	}
 	pg, err := store.CreateFile(f, store.DefaultPageSize)
 	if err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	pg.SetWALBase(uint64(initialLSN))
 	wf, err := fs(filepath.Join(dir, walFileName), os.O_RDWR|os.O_CREATE)
 	if err != nil {
-		pg.Close()
-		return nil, fmt.Errorf("walrus: creating WAL file: %w", err)
+		return nil, errors.Join(fmt.Errorf("walrus: creating WAL file: %w", err), pg.Close())
 	}
 	w, err := wal.Create(wf, pg.PhysicalPageSize(), initialLSN)
 	if err != nil {
-		pg.Close()
-		wf.Close()
-		return nil, err
+		return nil, errors.Join(err, pg.Close(), wf.Close())
 	}
 	p := &persistState{dir: dir, fs: fs, pg: pg, wal: w, policy: opts.Durability}
-	closeAll := func() {
-		w.Close()
-		pg.Close()
+	closeAll := func() error {
+		return errors.Join(w.Close(), pg.Close())
 	}
 	p.pool, err = store.NewBufferPool(pg, poolCapacity)
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	p.pool.SetFlushHook(p.flushHook)
 	p.ps, err = rstar.NewPagedStore(pg, p.pool, opts.Region.Dim())
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	tree, err := rstar.New(p.ps)
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	p.heap, err = store.NewHeapFile(pg, p.pool, heapRootSlot)
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	db.tree = tree
 	db.persist = p
 	if err := db.Flush(); err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	return db, nil
 }
@@ -198,7 +189,9 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 	}
 	var cat catalogData
 	err = gob.NewDecoder(cf).Decode(&cat)
-	cf.Close()
+	if cerr := cf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("walrus: decoding catalog: %w", err)
 	}
@@ -214,8 +207,7 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 	}
 	wf, err := opener(filepath.Join(dir, walFileName), os.O_RDWR|os.O_CREATE)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("walrus: opening WAL file: %w", err)
+		return nil, errors.Join(fmt.Errorf("walrus: opening WAL file: %w", err), f.Close())
 	}
 
 	// Replay the log below the pager. The fallbacks are only consulted
@@ -238,53 +230,44 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 			return nil
 		})
 	if err != nil {
-		f.Close()
-		wf.Close()
-		return nil, fmt.Errorf("walrus: recovering %s: %w", dir, err)
+		return nil, errors.Join(fmt.Errorf("walrus: recovering %s: %w", dir, err), f.Close(), wf.Close())
 	}
 	for _, a := range apps {
 		if a.kind == kindRebuild && a.lsn > stats.LastCheckpointLSN {
-			w.Close()
-			f.Close()
-			return nil, fmt.Errorf("walrus: bulk rebuild of %s was interrupted by a crash; re-run CreateFrom", dir)
+			return nil, errors.Join(
+				fmt.Errorf("walrus: bulk rebuild of %s was interrupted by a crash; re-run CreateFrom", dir),
+				w.Close(), f.Close())
 		}
 	}
 
 	pg, err := store.OpenFile(f)
 	if err != nil {
-		w.Close()
-		f.Close()
-		return nil, fmt.Errorf("walrus: %s: %w", dir, err)
+		return nil, errors.Join(fmt.Errorf("walrus: %s: %w", dir, err), w.Close(), f.Close())
 	}
 	p := &persistState{
 		dir: dir, fs: opener, pg: pg, wal: w,
 		policy: cat.Opts.Durability, metaVer: pg.MetaVersion(),
 		lastLSN: cat.LastLSN, recovery: stats,
 	}
-	closeAll := func() {
-		w.Close()
-		pg.Close()
+	closeAll := func() error {
+		return errors.Join(w.Close(), pg.Close())
 	}
 	p.pool, err = store.NewBufferPool(pg, poolCapacity)
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	p.pool.SetFlushHook(p.flushHook)
 	p.ps, err = rstar.NewPagedStore(pg, p.pool, cat.Opts.Region.Dim())
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	tree, err := rstar.Load(p.ps)
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 	p.heap, err = store.OpenHeapFile(pg, p.pool, heapRootSlot)
 	if err != nil {
-		closeAll()
-		return nil, err
+		return nil, errors.Join(err, closeAll())
 	}
 
 	db.images = make([]imageRecord, len(cat.Images))
@@ -308,12 +291,10 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 		}
 		var d walDelta
 		if err := gob.NewDecoder(bytes.NewReader(a.payload)).Decode(&d); err != nil {
-			closeAll()
-			return nil, fmt.Errorf("walrus: decoding WAL delta: %w", err)
+			return nil, errors.Join(fmt.Errorf("walrus: decoding WAL delta: %w", err), closeAll())
 		}
-		if err := db.applyDelta(&d); err != nil {
-			closeAll()
-			return nil, err
+		if err := db.applyDeltaLocked(&d); err != nil {
+			return nil, errors.Join(err, closeAll())
 		}
 	}
 
@@ -323,17 +304,14 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 		}
 		rec, err := p.heap.Get(store.UnpackRID(ref.RID))
 		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("walrus: loading region payload: %w", err)
+			return nil, errors.Join(fmt.Errorf("walrus: loading region payload: %w", err), closeAll())
 		}
 		var r region.Region
 		if err := r.UnmarshalBinary(rec); err != nil {
-			closeAll()
-			return nil, fmt.Errorf("walrus: decoding region payload: %w", err)
+			return nil, errors.Join(fmt.Errorf("walrus: decoding region payload: %w", err), closeAll())
 		}
 		if ref.Image >= len(db.images) || ref.Local >= len(db.images[ref.Image].Regions) {
-			closeAll()
-			return nil, fmt.Errorf("walrus: catalog region directory is inconsistent")
+			return nil, errors.Join(fmt.Errorf("walrus: catalog region directory is inconsistent"), closeAll())
 		}
 		db.images[ref.Image].Regions[ref.Local] = r
 	}
@@ -343,9 +321,12 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 	return db, nil
 }
 
-// applyDelta replays one committed catalog delta onto the in-memory
-// catalog, mirroring exactly what addExtracted and Remove do to it.
-func (db *DB) applyDelta(d *walDelta) error {
+// applyDeltaLocked replays one committed catalog delta onto the in-memory
+// catalog, mirroring exactly what addExtracted and Remove do to it. The
+// Locked suffix here means "caller owns the catalog exclusively": it runs
+// only during OpenFS recovery, before the DB is published to any other
+// goroutine.
+func (db *DB) applyDeltaLocked(d *walDelta) error {
 	switch d.Op {
 	case deltaAdd:
 		imgIdx := len(db.images)
@@ -498,12 +479,12 @@ func (db *DB) writeCatalogLocked(lastLSN uint64) error {
 		return fmt.Errorf("walrus: writing catalog: %w", err)
 	}
 	if err := gob.NewEncoder(&fileWriter{f: f}).Encode(&cat); err != nil {
-		f.Close()
+		err = errors.Join(fmt.Errorf("walrus: encoding catalog: %w", err), f.Close())
 		os.Remove(tmp)
-		return fmt.Errorf("walrus: encoding catalog: %w", err)
+		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return err
 	}
@@ -539,8 +520,10 @@ func syncDir(dir string) {
 	if err != nil {
 		return
 	}
-	d.Sync()
-	d.Close()
+	//walrus:lint-ignore errsink directory fsync is best-effort: some filesystems reject it outright
+	_ = d.Sync()
+	//walrus:lint-ignore errsink closing a read-only directory handle cannot lose data
+	_ = d.Close()
 }
 
 // Flush checkpoints a disk-backed database: all dirty pages reach the

@@ -19,7 +19,9 @@ import (
 // The rectangle must be at least Options.Region.MinWindow pixels in each
 // dimension.
 func (db *DB) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
+	db.mu.RLock()
 	minW := db.opts.Region.MinWindow
+	db.mu.RUnlock()
 	if w < minW || h < minW {
 		return nil, QueryStats{}, fmt.Errorf("walrus: scene %dx%d smaller than the minimum window %d", w, h, minW)
 	}

@@ -185,13 +185,15 @@ type regionRef struct {
 // parallelism knobs change wall-clock time only.
 type DB struct {
 	mu   sync.RWMutex
-	opts Options
-	ext  *region.Extractor
-	tree spatialIndex
+	opts Options           // guarded by mu (SetDurability rewrites the policy at runtime)
+	ext  *region.Extractor // immutable after prepare
+	tree spatialIndex      // guarded by mu
 
-	images  []imageRecord
-	byID    map[string]int
-	refs    []regionRef
+	images []imageRecord  // guarded by mu
+	byID   map[string]int // guarded by mu
+	refs   []regionRef    // guarded by mu
+	// persist is set before the DB is published and nilled only by Close;
+	// its own state is mutated exclusively under mu.
 	persist *persistState // nil for in-memory databases
 }
 
@@ -246,13 +248,19 @@ func prepare(opts Options) (*DB, error) {
 // Options.Parallelism applies (itself defaulting to GOMAXPROCS).
 func (db *DB) ingestWorkers(workers int) int {
 	if workers <= 0 {
+		db.mu.RLock()
 		workers = db.opts.Parallelism
+		db.mu.RUnlock()
 	}
 	return parallel.Workers(workers)
 }
 
 // Options returns the database configuration.
-func (db *DB) Options() Options { return db.opts }
+func (db *DB) Options() Options {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.opts
+}
 
 // Len returns the number of indexed images.
 func (db *DB) Len() int {
@@ -284,9 +292,10 @@ func (db *DB) Add(id string, im *imgio.Image) error {
 	return db.addExtracted(id, im, regions)
 }
 
-// signatureRect builds the index key for a region: its centroid point, or
-// its signature bounding box when UseBBox is set.
-func (db *DB) signatureRect(r region.Region) rstar.Rect {
+// signatureRectLocked builds the index key for a region: its centroid
+// point, or its signature bounding box when UseBBox is set. Caller holds
+// db.mu (or owns a not-yet-published DB, as in BuildFrom/CreateFrom).
+func (db *DB) signatureRectLocked(r region.Region) rstar.Rect {
 	if db.opts.UseBBox {
 		rect, err := rstar.NewRect(r.Min, r.Max)
 		if err == nil {
@@ -300,7 +309,7 @@ func (db *DB) signatureRect(r region.Region) rstar.Rect {
 // region's epsilon envelope, scores every candidate image, and returns
 // matches with similarity >= p.Tau sorted by decreasing similarity.
 func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
-	start := time.Now()
+	start := statsClock()
 	if p.Epsilon < 0 {
 		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
 	}
@@ -312,8 +321,8 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 
-	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: time.Since(start)}
-	probeStart := time.Now()
+	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: statsSince(start)}
+	probeStart := statsClock()
 	workers := parallel.Workers(p.Parallelism)
 
 	// Probe the index with every query region's epsilon envelope. The
@@ -329,7 +338,7 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 	perRegion := make([][]probeHit, len(qRegions))
 	err = parallel.ForErr(len(qRegions), workers, func(qi int) error {
 		qr := qRegions[qi]
-		probe := db.signatureRect(qr).Expand(p.Epsilon)
+		probe := db.signatureRectLocked(qr).Expand(p.Epsilon)
 		entries, err := db.tree.SearchAll(probe)
 		if err != nil {
 			return err
@@ -374,8 +383,8 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 		stats.RegionsRetrieved += len(hits)
 	}
 	stats.CandidateImages = len(pairsByImage)
-	stats.ProbeTime = time.Since(probeStart)
-	scoreStart := time.Now()
+	stats.ProbeTime = statsSince(probeStart)
+	scoreStart := statsClock()
 
 	// Score every candidate image, fanning the (independent, read-only)
 	// match computations across the same pool. Candidates are scored into
@@ -423,8 +432,8 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 	if p.Limit > 0 && len(matches) > p.Limit {
 		matches = matches[:p.Limit]
 	}
-	stats.ScoreTime = time.Since(scoreStart)
-	stats.Elapsed = time.Since(start)
+	stats.ScoreTime = statsSince(scoreStart)
+	stats.Elapsed = statsSince(start)
 	return matches, stats, nil
 }
 
@@ -443,7 +452,7 @@ func (db *DB) Remove(id string) (bool, error) {
 			continue
 		}
 		r := db.images[imgIdx].Regions[ref.Local]
-		removed, err := db.tree.Delete(db.signatureRect(r), int64(payload))
+		removed, err := db.tree.Delete(db.signatureRectLocked(r), int64(payload))
 		if err != nil {
 			return false, err
 		}
