@@ -2,8 +2,10 @@ package walrus
 
 import (
 	"fmt"
+	"time"
 
 	"walrus/internal/imgio"
+	"walrus/internal/obs"
 	"walrus/internal/parallel"
 	"walrus/internal/region"
 )
@@ -48,6 +50,11 @@ func (db *DB) extractAll(items []BatchItem, workers int) ([][]region.Region, []e
 func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	m := db.om.Load()
+	var start time.Time
+	if m != nil {
+		start = statsClock()
+	}
 	if _, dup := db.byID[id]; dup {
 		return fmt.Errorf("walrus: image %q already indexed", id)
 	}
@@ -76,7 +83,19 @@ func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) 
 		}
 	}
 	if db.persist != nil {
-		return db.commitLocked(&walDelta{Op: deltaAdd, ID: id, W: im.W, H: im.H, RIDs: rids})
+		if err := db.commitLocked(&walDelta{Op: deltaAdd, ID: id, W: im.W, H: im.H, RIDs: rids}); err != nil {
+			return err
+		}
+	}
+	if m != nil {
+		d := statsSince(start)
+		m.ingests.Inc()
+		m.ingestRegions.Add(uint64(len(regions)))
+		m.ingestSeconds.Observe(d.Seconds())
+		m.images.Set(int64(len(db.byID)))
+		m.regions.Add(int64(len(regions)))
+		m.reg.RecordSpan("ingest", 0, start, d,
+			obs.Attr{Key: "regions", Value: int64(len(regions))})
 	}
 	return nil
 }

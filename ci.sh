@@ -6,6 +6,10 @@
 #   2. build
 #   3. race tier: go test -race -short — runs the concurrency stress
 #      tests (mixed Add/Query/Remove) under the race detector on every PR
+#   3b. obs tier: scrapes the live /metrics endpoint while the
+#      Add/Query/Remove stress runs and fails on malformed Prometheus
+#      text or expvar JSON (TestObsScrapeUnderLoad + the exposition
+#      validator's own tests)
 #   4. full test suite
 #   5. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
 #      target (PPM decoder, WAL replay) for a few seconds of random input
@@ -35,6 +39,10 @@ go build ./...
 
 echo "== tier 1: race (short) =="
 go test -race -short ./...
+
+echo "== tier 1: obs (scrape during stress) =="
+go test -race -count=1 -run 'TestObsScrapeUnderLoad|TestObsCountDeterminism' .
+go test -count=1 -run 'TestPrometheusOutputValidates|TestValidatePrometheusRejectsMalformed|TestHandlerEndpoints' ./internal/obs
 
 echo "== tier 1: full tests =="
 go test ./...

@@ -3,15 +3,16 @@ package walrus
 import "time"
 
 // statsClock and statsSince isolate the wall-clock reads feeding the
-// QueryStats timing fields. Timing is observability only — it never
-// influences matching, scoring, or result order — so these helpers carry
-// the only sanctioned determinism suppressions in the root package; the
+// QueryStats timing fields and the obs phase histograms. Timing is
+// observability only — it never influences matching, scoring, or result
+// order — so these helpers sit on the lint clockExempt list (the shared
+// exemption consulted by both the determinism and obs analyzers); the
 // pipeline itself must stay clock-free.
 
 func statsClock() time.Time {
-	return time.Now() //walrus:lint-ignore determinism QueryStats timing is observability only and never feeds results
+	return time.Now()
 }
 
 func statsSince(t time.Time) time.Duration {
-	return time.Since(t) //walrus:lint-ignore determinism QueryStats timing is observability only and never feeds results
+	return time.Since(t)
 }

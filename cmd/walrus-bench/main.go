@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,13 +21,14 @@ import (
 
 	"walrus/internal/dataset"
 	"walrus/internal/experiments"
+	"walrus/internal/obscli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("walrus-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, all")
+		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, obs-overhead, all")
 		imgSize = flag.Int("image-size", 256, "image side for Figure 6 (paper: 256)")
 		maxWin  = flag.Int("max-window", 128, "largest window for Figure 6(a) (paper: 128)")
 		maxSig  = flag.Int("max-signature", 32, "largest signature for Figure 6(b) (paper: 32)")
@@ -35,8 +37,15 @@ func main() {
 		topK    = flag.Int("k", 14, "result count for Figures 7/8 (paper: 14)")
 		regimgs = flag.Int("region-images", 6, "images sampled for the §6.6 region-count sweep")
 		par     = flag.Int("parallelism", 0, "worker pool size for the parallel experiment (0 = GOMAXPROCS)")
+		obsOut  = flag.String("obs-json", "BENCH_obs.json", "output file for the obs-overhead measurement")
 	)
+	obsFlags := obscli.Register()
 	flag.Parse()
+	reg, obsStop, err := obsFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsStop()
 	if !isKnown(*exp) {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -62,7 +71,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel") || want("durability")
+	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel") || want("durability") || want("obs-overhead")
 	if !needDataset {
 		return
 	}
@@ -155,6 +164,23 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	if want("obs-overhead") {
+		fmt.Fprintln(out, "== Observability overhead: query hot path with registry detached vs attached ==")
+		res, err := experiments.ObsOverhead(ds, cfg.Options, 24, 20, 5, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintObsOverhead(out, res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*obsOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n\n", *obsOut)
+	}
+
 	if want("durability") {
 		fmt.Fprintln(out, "== Durability: WAL fsync policy vs ingest throughput ==")
 		rows, err := experiments.DurabilitySweep(ds, cfg.Options)
@@ -219,7 +245,7 @@ func main() {
 }
 
 func isKnown(e string) bool {
-	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability all") {
+	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability obs-overhead all") {
 		if e == k {
 			return true
 		}

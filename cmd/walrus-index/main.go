@@ -17,6 +17,7 @@ import (
 	"walrus"
 	"walrus/internal/colorspace"
 	"walrus/internal/dataset"
+	"walrus/internal/obscli"
 )
 
 func main() {
@@ -37,7 +38,13 @@ func main() {
 		fineSig    = flag.Int("fine-signature", 0, "store finer NxN signatures for the refined matching phase (0 = off)")
 		durability = flag.String("durability", "group", "WAL durability policy: always, group or none")
 	)
+	obsFlags := obscli.Register()
 	flag.Parse()
+	reg, obsStop, err := obsFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsStop()
 
 	sp, err := colorspace.Parse(*space)
 	if err != nil {
@@ -71,6 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	db.SetMetrics(reg)
 	start := time.Now()
 	// Extract regions in parallel; insertion order stays deterministic.
 	const chunk = 100

@@ -23,6 +23,7 @@ import (
 	"walrus"
 	"walrus/internal/imgio"
 	"walrus/internal/match"
+	"walrus/internal/obscli"
 )
 
 func main() {
@@ -38,10 +39,16 @@ func main() {
 		sceneXY = flag.String("scene", "", "query with a sub-rectangle only: x,y,w,h (user-specified scene)")
 		durable = flag.String("durability", "", "override the index's WAL durability policy: always, group or none")
 	)
+	obsFlags := obscli.Register()
 	flag.Parse()
 	if *imgPath == "" {
 		log.Fatal("missing -image")
 	}
+	reg, obsStop, err := obsFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsStop()
 
 	im, err := loadImage(*imgPath)
 	if err != nil {
@@ -52,6 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	db.SetMetrics(reg)
 	if stats, ok := db.Recovery(); ok && stats.Replayed {
 		fmt.Fprintf(os.Stderr, "recovered index: %d records replayed, %d torn tail bytes discarded\n",
 			stats.RecordsScanned, stats.TornBytes)

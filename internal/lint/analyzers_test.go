@@ -32,6 +32,24 @@ func TestParallelConvFixture(t *testing.T) {
 	runFixture(t, "parfix", ParallelConv)
 }
 
+func TestObsFixture(t *testing.T) {
+	runFixture(t, "obsfix", Obs)
+}
+
+// TestObsScoping proves the obs analyzer stays silent for packages outside
+// the instrumented set that have not opted in (determnoscope reads the
+// clock directly and carries no scope directive for obs).
+func TestObsScoping(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir("testdata/src/determnoscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{Obs}); len(diags) != 0 {
+		t.Errorf("obs fired outside its scope:\n%s", fmtDiags(diags))
+	}
+}
+
 // TestIgnoreDirectives exercises the //walrus:lint-ignore escape hatch:
 // documented ignores suppress, undocumented ones are diagnostics
 // themselves (and suppress nothing), unknown analyzers and malformed
@@ -51,7 +69,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"determinism", "errsink", "lockdiscipline", "parallelconv"} {
+	for _, want := range []string{"determinism", "errsink", "lockdiscipline", "obs", "parallelconv"} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}

@@ -64,25 +64,38 @@ func runDeterminism(pass *Pass) {
 	if !determinismScope[pkg.Rel] && !pkg.ScopedFor(pass.analyzer.Name) {
 		return
 	}
+	exempt := clockExempt[pkg.Rel]
 	for _, f := range pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.CallExpr:
-				fn := calleeOf(pkg.Info, st)
-				if reason, bad := forbiddenCalls[funcPath(fn)]; bad {
-					pass.Reportf(st.Pos(), "call to %s.%s (%s) in deterministic package %s", fn.Pkg().Path(), fn.Name(), reason, pkg.ImportPath)
-				}
-			case *ast.RangeStmt:
-				checkMapRange(pass, st)
-			case *ast.GoStmt:
-				if fl, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
-					for _, w := range sharedClosureWrites(pkg.Info, fl) {
-						pass.Reportf(w.pos, "goroutine closure %s captured %q: final value depends on goroutine schedule; write a per-index slot instead", w.verb, w.name)
+		for _, decl := range f.Decls {
+			// Sanctioned clock helpers (the shared clockExempt list in
+			// obs.go) may read the wall clock; everything else in them is
+			// still checked.
+			clockOK := false
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				clockOK = exempt[fd.Name.Name]
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeOf(pkg.Info, st)
+					if reason, bad := forbiddenCalls[funcPath(fn)]; bad {
+						if clockOK && reason == "wall-clock read" {
+							return true
+						}
+						pass.Reportf(st.Pos(), "call to %s.%s (%s) in deterministic package %s", fn.Pkg().Path(), fn.Name(), reason, pkg.ImportPath)
+					}
+				case *ast.RangeStmt:
+					checkMapRange(pass, st)
+				case *ast.GoStmt:
+					if fl, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+						for _, w := range sharedClosureWrites(pkg.Info, fl) {
+							pass.Reportf(w.pos, "goroutine closure %s captured %q: final value depends on goroutine schedule; write a per-index slot instead", w.verb, w.name)
+						}
 					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 }
 

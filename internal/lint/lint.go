@@ -13,6 +13,9 @@
 //   - lockdiscipline: methods of mutex-carrying structs must hold the
 //     documented lock before touching "guarded by mu" fields, and must
 //     not upgrade RLock to Lock.
+//   - obs: instrumented packages must route wall-clock reads through the
+//     annotated clock helpers (obs.Clock/obs.Since, statsClock/statsSince)
+//     named on the shared clockExempt list.
 //   - parallelconv: closures handed to internal/parallel pools must write
 //     per-index slots, never shared captured state.
 //
@@ -103,7 +106,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the repo's analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ErrSink, LockDiscipline, ParallelConv}
+	return []*Analyzer{Determinism, ErrSink, LockDiscipline, Obs, ParallelConv}
 }
 
 // lintIgnoreName is the pseudo-analyzer that owns directive-hygiene

@@ -1,0 +1,75 @@
+package lint
+
+import "go/ast"
+
+// obsScope lists the module-relative package paths that carry internal/obs
+// instrumentation. Inside them, every wall-clock read must flow through an
+// annotated clock helper (obs.Clock / obs.Since, or the root package's
+// statsClock / statsSince) so that timing stays auditable in one place and
+// the deterministic pipeline cannot silently grow clock dependence.
+// internal/experiments and the cmd/ front-ends stay out of scope: measuring
+// wall-clock time is their purpose, not a side effect.
+var obsScope = map[string]bool{
+	"":                  true, // module root: Query/ingest phase timing
+	"internal/obs":      true,
+	"internal/store":    true,
+	"internal/wal":      true,
+	"internal/parallel": true,
+	"internal/rstar":    true,
+}
+
+// wallClockCalls are the time package entry points the obs analyzer polices.
+var wallClockCalls = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// clockExempt is the shared exemption list: module-relative package path to
+// the names of its sanctioned clock helpers, the only functions in an
+// instrumented (or deterministic) package allowed to read the wall clock
+// directly. Both the obs analyzer and the determinism analyzer consult it,
+// so a helper is annotated once here instead of growing a lint-ignore
+// directive per call site. The testdata entries back the analyzer fixtures.
+var clockExempt = map[string]map[string]bool{
+	"":             {"statsClock": true, "statsSince": true},
+	"internal/obs": {"Clock": true, "Since": true},
+
+	"internal/lint/testdata/src/obsfix":    {"sanctionedClock": true, "sanctionedSince": true},
+	"internal/lint/testdata/src/determfix": {"sanctionedClock": true},
+}
+
+// Obs forbids direct wall-clock reads in instrumented packages: timing must
+// route through the clock helpers named in clockExempt so instrumentation
+// overhead and clock usage stay centralized and auditable. Packages outside
+// the default scope can opt in with //walrus:lint-scope obs.
+var Obs = &Analyzer{
+	Name: "obs",
+	Doc:  "route instrumentation timing through the annotated clock helpers (obs.Clock/obs.Since)",
+	Run:  runObs,
+}
+
+func runObs(pass *Pass) {
+	pkg := pass.Pkg
+	if !obsScope[pkg.Rel] && !pkg.ScopedFor(pass.analyzer.Name) {
+		return
+	}
+	exempt := clockExempt[pkg.Rel]
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && exempt[fd.Name.Name] {
+				continue // a sanctioned clock helper: the one place reads belong
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p := funcPath(calleeOf(pkg.Info, call)); wallClockCalls[p] {
+					pass.Reportf(call.Pos(), "direct %s in instrumented package %s: route timing through an annotated clock helper (obs.Clock/obs.Since) or add the enclosing function to the lint clockExempt list", p, pkg.ImportPath)
+				}
+				return true
+			})
+		}
+	}
+}

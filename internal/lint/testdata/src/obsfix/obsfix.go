@@ -1,0 +1,35 @@
+// Fixture for the obs analyzer: the package opts in via the scope
+// directive below; direct wall-clock reads are diagnostics unless the
+// enclosing function is on the shared clockExempt list (sanctionedClock
+// and sanctionedSince are registered there for this fixture).
+//
+//walrus:lint-scope obs
+
+package obsfix
+
+import "time"
+
+// sanctionedClock is on the clockExempt list: this is the one place a
+// direct read belongs.
+func sanctionedClock() time.Time { return time.Now() }
+
+// sanctionedSince is likewise exempt.
+func sanctionedSince(t time.Time) time.Duration { return time.Since(t) }
+
+func timedWork() time.Duration {
+	start := time.Now() // want `direct time.Now in instrumented package`
+	work()
+	return time.Since(start) // want `direct time.Since in instrumented package`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `direct time.Until in instrumented package`
+}
+
+func viaHelpers() time.Duration {
+	start := sanctionedClock()
+	work()
+	return sanctionedSince(start)
+}
+
+func work() {}

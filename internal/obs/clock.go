@@ -1,0 +1,20 @@
+package obs
+
+import "time"
+
+// Clock and Since are the sanctioned wall-clock reads of the
+// observability layer. Timing feeds metrics and spans only — never
+// matching, scoring, or result order — so these two helpers (together
+// with the root package's statsClock/statsSince) form the exemption list
+// of the `obs` lint analyzer: every other direct time.Now/time.Since in
+// an instrumented package is a diagnostic.
+
+// Clock returns the current wall-clock time.
+func Clock() time.Time {
+	return time.Now()
+}
+
+// Since returns the wall-clock time elapsed since t.
+func Since(t time.Time) time.Duration {
+	return time.Since(t)
+}

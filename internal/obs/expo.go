@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// formatBound renders a histogram bucket bound the way Prometheus does
+// (shortest float representation; +Inf for the overflow bucket).
+func formatBound(b float64) string {
+	if math.IsInf(b, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by metric name. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := r.sortedLocked()
+	snap := make(map[string]any, len(metrics))
+	for _, m := range metrics {
+		switch m.kind {
+		case "counter":
+			snap[m.name] = r.counters[m.name].Value()
+		case "gauge":
+			snap[m.name] = r.gauges[m.name].Value()
+		case "histogram":
+			snap[m.name] = r.hists[m.name].snapshot()
+		}
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, m := range metrics {
+		if m.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+		switch v := snap[m.name].(type) {
+		case uint64:
+			fmt.Fprintf(bw, "%s %d\n", m.name, v)
+		case int64:
+			fmt.Fprintf(bw, "%s %d\n", m.name, v)
+		case HistogramSnapshot:
+			cum := uint64(0)
+			for i, c := range v.Counts {
+				cum += c
+				bound := math.Inf(+1)
+				if i < len(v.Bounds) {
+					bound = v.Bounds[i]
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, formatBound(bound), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n", m.name, strconv.FormatFloat(v.Sum, 'g', -1, 64))
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, v.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders every metric as one flat expvar-style JSON object:
+// scalar metrics map to numbers, histograms to {count, sum, buckets}
+// objects. Keys are sorted (encoding/json sorts map keys). A nil
+// registry writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	snap := r.Snapshot()
+	for name, v := range snap.Counters {
+		out[name] = v
+	}
+	for name, v := range snap.Gauges {
+		out[name] = v
+	}
+	for name, h := range snap.Histograms {
+		buckets := make([]map[string]any, len(h.Counts))
+		for i, c := range h.Counts {
+			bound := math.Inf(+1)
+			if i < len(h.Bounds) {
+				bound = h.Bounds[i]
+			}
+			buckets[i] = map[string]any{"le": formatBound(bound), "count": c}
+		}
+		out[name] = map[string]any{"count": h.Count, "sum": h.Sum, "buckets": buckets}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteSpansJSON renders the tracer ring as JSON: completed spans
+// oldest-first plus the overwrite count.
+func (r *Registry) WriteSpansJSON(w io.Writer) error {
+	spans, dropped := r.Tracer().Spans()
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"spans": spans, "dropped": dropped})
+}
+
+// WriteTable renders a one-shot human-readable dump of every metric —
+// the CLI -obs-snapshot output. Histograms collapse to count/sum/mean.
+func (r *Registry) WriteTable(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	metrics := r.sortedLocked()
+	type row struct{ name, value string }
+	rows := make([]row, 0, len(metrics))
+	width := 0
+	for _, m := range metrics {
+		var val string
+		switch m.kind {
+		case "counter":
+			val = strconv.FormatUint(r.counters[m.name].Value(), 10)
+		case "gauge":
+			val = strconv.FormatInt(r.gauges[m.name].Value(), 10)
+		case "histogram":
+			h := r.hists[m.name].snapshot()
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			val = fmt.Sprintf("count=%d sum=%.6gs mean=%.6gs", h.Count, h.Sum, mean)
+		}
+		rows = append(rows, row{m.name, val})
+		if len(m.name) > width {
+			width = len(m.name)
+		}
+	}
+	r.mu.Unlock()
+	for _, rw := range rows {
+		fmt.Fprintf(w, "%-*s  %s\n", width, rw.name, rw.value)
+	}
+	spans, dropped := r.Tracer().Spans()
+	fmt.Fprintf(w, "%-*s  %d recent (%d overwritten)\n", width, "trace_spans", len(spans), dropped)
+}
+
+// ValidatePrometheus parses a Prometheus text exposition and returns an
+// error on the first malformed line or inconsistent histogram family —
+// the check the CI obs tier applies to a live scrape. It understands the
+// subset this package emits: HELP/TYPE comments, unlabeled scalar
+// samples, and histogram families with `le` labels.
+func ValidatePrometheus(data []byte) error {
+	typeOf := make(map[string]string)
+	bucketCum := make(map[string]uint64)  // family -> last cumulative bucket count
+	bucketLast := make(map[string]string) // family -> last le bound seen
+	countOf := make(map[string]uint64)
+	sawInf := make(map[string]bool)
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if _, dup := typeOf[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				typeOf[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, ok := splitSample(line)
+		if !ok {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value in %q: %v", lineNo, line, err)
+		}
+		family := name
+		switch {
+		case strings.Contains(name, "{"):
+			base, le, ok := splitBucket(name)
+			if !ok {
+				return fmt.Errorf("line %d: unsupported labels in %q", lineNo, line)
+			}
+			family = strings.TrimSuffix(base, "_bucket")
+			if typeOf[family] != "histogram" {
+				return fmt.Errorf("line %d: bucket sample %q without a histogram TYPE", lineNo, line)
+			}
+			if uint64(val) < bucketCum[family] {
+				return fmt.Errorf("line %d: histogram %q buckets are not cumulative", lineNo, family)
+			}
+			bucketCum[family] = uint64(val)
+			bucketLast[family] = le
+			if le == "+Inf" {
+				sawInf[family] = true
+			}
+		case strings.HasSuffix(name, "_sum") && typeOf[strings.TrimSuffix(name, "_sum")] == "histogram":
+			family = strings.TrimSuffix(name, "_sum")
+		case strings.HasSuffix(name, "_count") && typeOf[strings.TrimSuffix(name, "_count")] == "histogram":
+			family = strings.TrimSuffix(name, "_count")
+			countOf[family] = uint64(val)
+		default:
+			if _, ok := typeOf[name]; !ok {
+				return fmt.Errorf("line %d: sample %q precedes its TYPE line", lineNo, name)
+			}
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+		}
+		if !validName(family) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, family)
+		}
+	}
+	for family, typ := range typeOf {
+		if typ != "histogram" {
+			continue
+		}
+		if !sawInf[family] {
+			return fmt.Errorf("histogram %q has no +Inf bucket", family)
+		}
+		if countOf[family] != bucketCum[family] {
+			return fmt.Errorf("histogram %q: +Inf bucket %d != count %d (last le=%s)",
+				family, bucketCum[family], countOf[family], bucketLast[family])
+		}
+	}
+	return nil
+}
+
+// splitSample splits "name value" or "name{labels} value".
+func splitSample(line string) (name, value string, ok bool) {
+	if i := strings.Index(line, "}"); i >= 0 {
+		return line[:i+1], line[i+1:], strings.Contains(line[:i+1], "{")
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return "", "", false
+	}
+	return line[:i], line[i:], true
+}
+
+// splitBucket parses `name_bucket{le="bound"}` into (name_bucket, bound).
+func splitBucket(s string) (base, le string, ok bool) {
+	open := strings.Index(s, "{")
+	if open < 0 || !strings.HasSuffix(s, "}") {
+		return "", "", false
+	}
+	label := s[open+1 : len(s)-1]
+	var unq string
+	if rest, found := strings.CutPrefix(label, "le="); found {
+		var err error
+		unq, err = strconv.Unquote(rest)
+		if err != nil {
+			return "", "", false
+		}
+	} else {
+		return "", "", false
+	}
+	return s[:open], unq, true
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability mux:
+//
+//	/metrics             Prometheus text exposition
+//	/debug/vars          expvar-style JSON of every metric
+//	/debug/walrus/spans  span-ring JSON
+//	/debug/pprof/...     net/http/pprof profiles
+//
+// The handler only reads the registry, so it is safe to serve while the
+// instrumented pipeline runs at full parallelism.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/walrus/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteSpansJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "walrus observability endpoints:\n"+
+			"  /metrics\n  /debug/vars\n  /debug/walrus/spans\n  /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a live observability listener started by Serve.
+type Server struct {
+	// Addr is the bound address (useful when Serve was given ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts the observability handler on addr in a background
+// goroutine. Close the returned server to stop it.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() {
+		// Serve returns ErrServerClosed (or a listener error) once Close
+		// runs; either way the goroutine is done and there is nobody to
+		// hand the error to.
+		//walrus:lint-ignore errsink http.Serve error after listener close is expected shutdown noise
+		_ = srv.Serve(ln)
+	}()
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

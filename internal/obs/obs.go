@@ -1,0 +1,284 @@
+// Package obs is the observability kernel of the WALRUS repository: a
+// registry of atomic counters, gauges and fixed-bucket latency
+// histograms, plus a lightweight span tracer with a bounded in-memory
+// ring. It is stdlib-only and designed around a nil fast path: a nil
+// *Registry hands out nil metric handles, and every operation on a nil
+// handle is a no-op cheap enough to leave in the hot paths permanently.
+// Subsystems therefore hold (possibly nil) pre-resolved handles and never
+// branch on "is observability enabled".
+//
+// Metric names follow the Prometheus data model (snake_case, a
+// `walrus_` prefix by convention, `_total` suffix on counters,
+// `_seconds` on latency histograms). The registry is exposed three ways:
+// Prometheus text format (WritePrometheus, served at /metrics by
+// Handler), expvar-style JSON (WriteJSON, served at /debug/vars), and a
+// human-readable table (WriteTable, the CLI -obs-snapshot dump).
+//
+// Wall-clock reads are confined to the annotated helpers in clock.go
+// (Clock, Since); the repo's `obs` lint analyzer enforces that every
+// instrumented package routes its timing through them.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to
+// use; all methods are no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (which may be negative) to the gauge.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a namespace of metrics plus a span tracer. All methods are
+// safe for concurrent use, and every method is safe on a nil receiver:
+// lookups return nil handles whose operations are no-ops, which is the
+// "instrumentation disabled" fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	help     map[string]string     // guarded by mu
+	tracer   *Tracer               // immutable after NewRegistry
+}
+
+// defaultSpanRing is the span ring capacity of NewRegistry.
+const defaultSpanRing = 1024
+
+// NewRegistry returns an empty registry whose span ring holds the most
+// recent defaultSpanRing completed spans.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+		tracer:   newTracer(defaultSpanRing),
+	}
+}
+
+// validName reports whether name fits the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// registerLocked validates a metric name and records its help text, enforcing
+// that one name maps to exactly one metric kind. Caller holds r.mu.
+func (r *Registry) registerLocked(name, help, kind string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	var clashes bool
+	switch kind {
+	case "counter":
+		_, g := r.gauges[name]
+		_, h := r.hists[name]
+		clashes = g || h
+	case "gauge":
+		_, c := r.counters[name]
+		_, h := r.hists[name]
+		clashes = c || h
+	case "histogram":
+		_, c := r.counters[name]
+		_, g := r.gauges[name]
+		clashes = c || g
+	}
+	if clashes {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a %s", name, kind))
+	}
+	if _, ok := r.help[name]; !ok && help != "" {
+		r.help[name] = help
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.registerLocked(name, help, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.registerLocked(name, help, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (nil buckets means DefBuckets; an
+// implicit +Inf bucket is always appended). Returns nil (a no-op handle)
+// on a nil registry.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.registerLocked(name, help, "histogram")
+	h := newHistogram(buckets)
+	r.hists[name] = h
+	return h
+}
+
+// Tracer returns the registry's span tracer (nil on a nil registry).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Bounds are the bucket upper bounds; Counts the per-bucket
+	// (non-cumulative) observation counts. len(Counts) == len(Bounds)+1;
+	// the final slot is the +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric. A nil registry yields empty (non-nil)
+// maps, so callers can index the result unconditionally.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// names returns every registered metric name sorted, with its kind and
+// help text. Caller holds r.mu.
+type namedMetric struct {
+	name, kind, help string
+}
+
+func (r *Registry) sortedLocked() []namedMetric {
+	out := make([]namedMetric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters {
+		out = append(out, namedMetric{name, "counter", r.help[name]})
+	}
+	for name := range r.gauges {
+		out = append(out, namedMetric{name, "gauge", r.help[name]})
+	}
+	for name := range r.hists {
+		out = append(out, namedMetric{name, "histogram", r.help[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span (counts, sizes —
+// quantities, not labels, so the value is numeric).
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// SpanRecord is one completed span as stored in the tracer ring.
+type SpanRecord struct {
+	ID       uint64        `json:"id"`
+	Parent   uint64        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into a bounded ring: once full, new
+// spans overwrite the oldest and the Dropped counter advances. Safe for
+// concurrent use; all methods are no-ops on a nil receiver.
+type Tracer struct {
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord // guarded by mu
+	next int          // guarded by mu
+	full bool         // guarded by mu
+}
+
+func newTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+// Span is one in-flight operation. Obtain one with Registry.StartSpan or
+// Span.Child; a nil Span (from a nil registry/tracer) never reads the
+// clock and ignores every method call.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+}
+
+// StartSpan begins a root span (nil on a nil registry).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.start(name, 0)
+}
+
+func (t *Tracer) start(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		rec: SpanRecord{
+			ID:     t.seq.Add(1),
+			Parent: parent,
+			Name:   name,
+			Start:  Clock(),
+		},
+	}
+}
+
+// Child begins a span parented to s (nil when s is nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.start(name, s.rec.ID)
+}
+
+// ID returns the span id (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.ID
+}
+
+// SetAttr attaches a numeric attribute to the span.
+func (s *Span) SetAttr(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: value})
+}
+
+// End completes the span, records it into the ring, and returns its
+// duration (0 for a nil span).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.rec.Duration = Since(s.rec.Start)
+	s.tracer.record(s.rec)
+	return s.rec.Duration
+}
+
+// RecordSpan inserts an already-measured span — the retroactive API used
+// when phase timings are captured anyway (QueryStats) and re-reading the
+// clock would double the cost. It returns the new span's id so children
+// can reference it (0 on a nil registry).
+func (r *Registry) RecordSpan(name string, parent uint64, start time.Time, d time.Duration, attrs ...Attr) uint64 {
+	if r == nil {
+		return 0
+	}
+	rec := SpanRecord{
+		ID:       r.tracer.seq.Add(1),
+		Parent:   parent,
+		Name:     name,
+		Start:    start,
+		Duration: d,
+		Attrs:    attrs,
+	}
+	r.tracer.record(rec)
+	return rec.ID
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full && len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+		if len(t.ring) == cap(t.ring) {
+			t.full = true
+			t.next = 0
+		}
+		return
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	t.dropped.Add(1)
+}
+
+// Spans returns the completed spans oldest-first plus the number of
+// spans that have been overwritten by ring wraparound. Empty on a nil
+// receiver.
+func (t *Tracer) Spans() (spans []SpanRecord, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		spans = append(spans, t.ring...)
+	} else {
+		spans = append(spans, t.ring[t.next:]...)
+		spans = append(spans, t.ring[:t.next]...)
+	}
+	return spans, t.dropped.Load()
+}

@@ -1,0 +1,64 @@
+// Package obscli wires the observability registry into the walrus command
+// lines: every binary that takes -obs-addr / -obs-snapshot registers its
+// flags here and gets back a ready registry plus a teardown hook. The
+// default (no flags) is a nil registry, which keeps the instrumented
+// library paths on their nil fast path.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"walrus/internal/obs"
+)
+
+// Flags holds the observability knobs shared by the walrus commands.
+type Flags struct {
+	// Addr serves /metrics (Prometheus), /debug/vars (expvar JSON),
+	// /debug/walrus/spans and /debug/pprof on this address; empty = off.
+	Addr string
+	// Snapshot dumps a metrics table to stderr at teardown.
+	Snapshot bool
+}
+
+// Register installs -obs-addr and -obs-snapshot on the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Addr, "obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
+	flag.BoolVar(&f.Snapshot, "obs-snapshot", false, "dump a metrics table to stderr before exiting")
+	return f
+}
+
+// Start creates a registry when any observability flag is set and starts
+// the HTTP listener if -obs-addr was given. It returns the registry (nil
+// when observability is off — safe to pass to DB.SetMetrics as-is) and a
+// stop function to defer, which prints the -obs-snapshot table and shuts
+// the listener down.
+func (f *Flags) Start() (*obs.Registry, func(), error) {
+	if f.Addr == "" && !f.Snapshot {
+		return nil, func() {}, nil
+	}
+	reg := obs.NewRegistry()
+	var srv *obs.Server
+	if f.Addr != "" {
+		var err error
+		srv, err = obs.Serve(f.Addr, reg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: listening on %s: %w", f.Addr, err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: metrics at http://%s/metrics\n", srv.Addr)
+	}
+	stop := func() {
+		if f.Snapshot {
+			fmt.Fprintln(os.Stderr, "obs: final metrics snapshot:")
+			reg.WriteTable(os.Stderr)
+		}
+		if srv != nil {
+			// Best-effort shutdown of a debug listener on process exit.
+			srv.Close() //walrus:lint-ignore errsink process is exiting; nothing to do with a close error
+		}
+	}
+	return reg, stop, nil
+}

@@ -13,7 +13,35 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"walrus/internal/obs"
 )
+
+// poolMetrics are the package's pre-resolved obs handles. Worker pools are
+// ephemeral (one per For call), so the handles are package-global and read
+// through an atomic pointer; nil means observability is off and the claim
+// loop does no metric work.
+type poolMetrics struct {
+	queueDepth, activeWorkers *obs.Gauge
+	tasks                     *obs.Counter
+}
+
+var metrics atomic.Pointer[poolMetrics]
+
+// SetMetrics publishes pool activity into reg under the walrus_pool_*
+// namespace; nil detaches. The handles are process-global: every pool in
+// the process reports into the same gauges.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolMetrics{
+		queueDepth:    reg.Gauge("walrus_pool_queue_depth", "Work items submitted to worker pools and not yet claimed."),
+		activeWorkers: reg.Gauge("walrus_pool_active_workers", "Worker goroutines (or inline serial loops) currently running."),
+		tasks:         reg.Counter("walrus_pool_tasks_total", "Work items completed by worker pools."),
+	})
+}
 
 // Workers resolves a parallelism knob: values <= 0 mean GOMAXPROCS,
 // anything else is returned unchanged.
@@ -33,9 +61,23 @@ func For(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	m := metrics.Load()
+	if m != nil {
+		m.queueDepth.Add(int64(n))
+	}
 	if workers <= 1 {
+		if m != nil {
+			m.activeWorkers.Add(1)
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
+			if m != nil {
+				m.queueDepth.Add(-1)
+				m.tasks.Inc()
+			}
+		}
+		if m != nil {
+			m.activeWorkers.Add(-1)
 		}
 		return
 	}
@@ -44,6 +86,10 @@ func For(n, workers int, fn func(i int)) {
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
+			if m != nil {
+				m.activeWorkers.Add(1)
+				defer m.activeWorkers.Add(-1)
+			}
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -51,6 +97,10 @@ func For(n, workers int, fn func(i int)) {
 					return
 				}
 				fn(i)
+				if m != nil {
+					m.queueDepth.Add(-1)
+					m.tasks.Inc()
+				}
 			}
 		}()
 	}

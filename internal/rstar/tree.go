@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+
+	"walrus/internal/obs"
 )
 
 // Tree is an R*-tree over a NodeStore. It is not safe for concurrent
@@ -19,6 +22,8 @@ type Tree struct {
 	root   NodeID
 	height int // 1 = root is a leaf
 	size   int
+
+	om atomic.Pointer[treeMetrics] // nil = observability off
 }
 
 // New creates a fresh, empty tree in the store, overwriting any metadata
@@ -90,6 +95,9 @@ func (t *Tree) Insert(r Rect, data int64) error {
 		return err
 	}
 	t.size++
+	if m := t.om.Load(); m != nil {
+		m.inserts.Inc()
+	}
 	return t.saveMeta()
 }
 
@@ -265,6 +273,9 @@ func (t *Tree) forceReinsertPick(n *Node) ([]Entry, error) {
 // distribution on that axis with minimal overlap (ties: minimal total
 // area). n keeps the first group; the returned new node holds the second.
 func (t *Tree) splitNode(n *Node) (*Node, error) {
+	if om := t.om.Load(); om != nil {
+		om.splits.Inc()
+	}
 	entries := n.Entries
 	m := t.minE
 	total := len(entries)
@@ -345,11 +356,25 @@ func (t *Tree) Search(q Rect, fn func(Entry) bool) error {
 	if q.Dim() != t.dim {
 		return fmt.Errorf("rstar: query has dim %d, tree has %d", q.Dim(), t.dim)
 	}
-	_, err := t.search(t.root, q, fn)
+	m := t.om.Load()
+	if m == nil {
+		_, err := t.search(t.root, q, fn, nil)
+		return err
+	}
+	start := obs.Clock()
+	visits := 0
+	_, err := t.search(t.root, q, fn, &visits)
+	m.searches.Inc()
+	m.nodeVisits.Add(uint64(visits))
+	m.reg.RecordSpan("rstar.search", 0, start, obs.Since(start),
+		obs.Attr{Key: "node_visits", Value: int64(visits)})
 	return err
 }
 
-func (t *Tree) search(id NodeID, q Rect, fn func(Entry) bool) (bool, error) {
+func (t *Tree) search(id NodeID, q Rect, fn func(Entry) bool, visits *int) (bool, error) {
+	if visits != nil {
+		*visits++
+	}
 	n, err := t.store.Get(id)
 	if err != nil {
 		return false, err
@@ -364,7 +389,7 @@ func (t *Tree) search(id NodeID, q Rect, fn func(Entry) bool) (bool, error) {
 			}
 			continue
 		}
-		cont, err := t.search(e.Child, q, fn)
+		cont, err := t.search(e.Child, q, fn, visits)
 		if err != nil || !cont {
 			return cont, err
 		}

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"walrus/internal/obs"
 )
 
 // Frame is a buffered page. Callers obtain Frames from a BufferPool, read
@@ -52,6 +55,7 @@ type BufferPool struct {
 	frames map[PageID]*Frame
 	lru    *list.List // front = most recently used; holds unpinned and pinned frames alike
 	stats  PoolStats
+	om     poolMetrics // guarded by mu; zero value = observability off
 	hook   FlushHook
 	ioErr  error // sticky: first failed write-back, surfaced on later calls
 }
@@ -103,11 +107,13 @@ func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 	}
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
+		bp.om.hits.Inc()
 		f.pins++
 		bp.lru.MoveToFront(f.elem)
 		return f, nil
 	}
 	bp.stats.Misses++
+	bp.om.misses.Inc()
 	f, err := bp.admit(id)
 	if err != nil {
 		return nil, err
@@ -150,7 +156,7 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 // Caller holds bp.mu.
 func (bp *BufferPool) admit(id PageID) (*Frame, error) {
 	for len(bp.frames) >= bp.cap {
-		if !bp.evictOne() {
+		if !bp.evictOneLocked() {
 			if bp.ioErr != nil {
 				return nil, bp.ioErr
 			}
@@ -166,12 +172,12 @@ func (bp *BufferPool) admit(id PageID) (*Frame, error) {
 	return f, nil
 }
 
-// evictOne removes the least recently used evictable frame, flushing it
+// evictOneLocked removes the least recently used evictable frame, flushing it
 // if dirty (steal). Under a FlushHook dirty frames are not evictable
 // (no-steal). A failed write-back records the pool's sticky I/O error and
 // keeps the frame resident rather than lose data. Returns false if no
 // frame could be evicted. Caller holds bp.mu.
-func (bp *BufferPool) evictOne() bool {
+func (bp *BufferPool) evictOneLocked() bool {
 	for e := bp.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*Frame)
 		if f.pins > 0 {
@@ -183,17 +189,28 @@ func (bp *BufferPool) evictOne() bool {
 				// checkpoint (FlushAll) may write it back.
 				continue
 			}
+			var start time.Time
+			if bp.om.reg != nil {
+				start = obs.Clock()
+			}
 			if err := bp.pager.WritePage(f.ID, f.Data, f.LSN); err != nil {
 				bp.stats.FailedWriteBacks++
+				bp.om.failedWriteBacks.Inc()
 				if bp.ioErr == nil {
 					bp.ioErr = fmt.Errorf("store: evicting page %d: %w", f.ID, err)
 				}
 				continue
 			}
 			bp.stats.Flushes++
+			bp.om.flushes.Inc()
+			if bp.om.reg != nil {
+				bp.om.reg.RecordSpan("bufpool.evict", 0, start, obs.Since(start),
+					obs.Attr{Key: "page", Value: int64(f.ID)})
+			}
 		}
 		bp.drop(f)
 		bp.stats.Evictions++
+		bp.om.evictions.Inc()
 		return true
 	}
 	return false
@@ -286,6 +303,9 @@ func (bp *BufferPool) FlushAll() error {
 		}
 		f.dirty = false
 		bp.stats.Flushes++
+		// mu is still held here; the linear lock scan mistakes the
+		// error-branch Unlocks above for a release.
+		bp.om.flushes.Inc() //walrus:lint-ignore lockdiscipline mu held; linear scan false positive after error-branch Unlock
 	}
 	bp.mu.Unlock()
 	return bp.pager.Sync()

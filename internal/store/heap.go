@@ -46,9 +46,10 @@ const (
 type HeapFile struct {
 	pg       *Pager
 	pool     *BufferPool
-	rootSlot int    // pager root slot holding the first page id
-	first    PageID // first page of the chain (0 = empty)
-	last     PageID // last page of the chain, where inserts go
+	rootSlot int         // pager root slot holding the first page id
+	first    PageID      // first page of the chain (0 = empty)
+	last     PageID      // last page of the chain, where inserts go
+	om       heapMetrics // zero value = observability off
 }
 
 // NewHeapFile creates an empty heap file whose first-page pointer lives in
@@ -90,6 +91,9 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	}
 	if h.last != 0 {
 		if rid, ok, err := h.tryInsert(h.last, rec); err != nil || ok {
+			if err == nil {
+				h.om.inserts.Inc()
+			}
 			return rid, err
 		}
 	}
@@ -122,6 +126,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	if !ok {
 		return RID{}, fmt.Errorf("store: record of %d bytes does not fit an empty page", len(rec))
 	}
+	h.om.inserts.Inc()
 	return rid, nil
 }
 
@@ -242,6 +247,7 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 	length := int(binary.LittleEndian.Uint16(f.Data[dir+2:]))
 	out := make([]byte, length)
 	copy(out, f.Data[off:int(off)+length])
+	h.om.gets.Inc()
 	return out, nil
 }
 
@@ -264,6 +270,7 @@ func (h *HeapFile) Delete(rid RID) error {
 	}
 	binary.LittleEndian.PutUint16(f.Data[dir:], heapDeadSlot)
 	binary.LittleEndian.PutUint16(f.Data[dir+2:], 0)
+	h.om.deletes.Inc()
 	return nil
 }
 

@@ -16,6 +16,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"walrus/internal/obs"
 )
 
 // PageID identifies a page within a Pager's file. Page 0 is the metadata
@@ -64,9 +67,10 @@ type Pager struct {
 	walBase  uint64
 
 	metaDirty bool
-	metaVer   uint64 // bumped on every meta mutation; see MetaVersion
-	metaLSN   uint64 // stamped into the meta page footer on write-back
-	scratch   []byte // one physical page, reused under mu
+	metaVer   uint64       // bumped on every meta mutation; see MetaVersion
+	metaLSN   uint64       // stamped into the meta page footer on write-back
+	om        pagerMetrics // guarded by mu; zero value = observability off
+	scratch   []byte       // one physical page, reused under mu
 }
 
 // Create creates a new page file at path, truncating any existing file.
@@ -271,22 +275,32 @@ func (p *Pager) encodeMeta(buf []byte) {
 // exclusive access.
 func (p *Pager) writeMeta() error {
 	p.encodeMeta(p.scratch[:p.usable])
-	if err := p.writePhysical(0, p.scratch[:p.usable], p.metaLSN); err != nil {
+	if err := p.writePhysicalLocked(0, p.scratch[:p.usable], p.metaLSN); err != nil {
 		return fmt.Errorf("store: writing meta page: %w", err)
 	}
 	p.metaDirty = false
 	return nil
 }
 
-// writePhysical frames usable-size data with the LSN+CRC footer and
+// writePhysicalLocked frames usable-size data with the LSN+CRC footer and
 // writes the physical page. Caller holds mu. data may alias scratch.
-func (p *Pager) writePhysical(id PageID, data []byte, lsn uint64) error {
+func (p *Pager) writePhysicalLocked(id PageID, data []byte, lsn uint64) error {
+	var start time.Time
+	if p.om.reg != nil {
+		start = obs.Clock()
+	}
 	if &data[0] != &p.scratch[0] {
 		copy(p.scratch, data)
 	}
 	StampPageFooter(p.scratch, lsn)
 	if _, err := p.f.WriteAt(p.scratch, p.offset(id)); err != nil {
 		return fmt.Errorf("store: writing page %d: %w", id, err)
+	}
+	if p.om.reg != nil {
+		d := obs.Since(start)
+		p.om.writes.Inc()
+		p.om.writeSeconds.Observe(d.Seconds())
+		p.om.reg.RecordSpan("pager.write", 0, start, d, obs.Attr{Key: "page", Value: int64(id)})
 	}
 	return nil
 }
@@ -308,7 +322,7 @@ func (p *Pager) Alloc() (PageID, error) {
 	for i := range p.scratch {
 		p.scratch[i] = 0
 	}
-	if err := p.writePhysical(id, p.scratch[:p.usable], 0); err != nil {
+	if err := p.writePhysicalLocked(id, p.scratch[:p.usable], 0); err != nil {
 		return InvalidPage, fmt.Errorf("store: extending file for page %d: %w", id, err)
 	}
 	p.nPages++
@@ -346,6 +360,10 @@ func (p *Pager) ReadPage(id PageID, buf []byte) (uint64, error) {
 	if len(buf) != p.usable {
 		return 0, fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.usable)
 	}
+	var start time.Time
+	if p.om.reg != nil {
+		start = obs.Clock()
+	}
 	if _, err := p.f.ReadAt(p.scratch, p.offset(id)); err != nil && err != io.EOF {
 		return 0, fmt.Errorf("store: reading page %d: %w", id, err)
 	}
@@ -354,6 +372,12 @@ func (p *Pager) ReadPage(id PageID, buf []byte) (uint64, error) {
 		return 0, fmt.Errorf("store: page %d checksum mismatch: data corruption or torn write", id)
 	}
 	copy(buf, p.scratch[:p.usable])
+	if p.om.reg != nil {
+		d := obs.Since(start)
+		p.om.reads.Inc()
+		p.om.readSeconds.Observe(d.Seconds())
+		p.om.reg.RecordSpan("pager.read", 0, start, d, obs.Attr{Key: "page", Value: int64(id)})
+	}
 	return lsn, nil
 }
 
@@ -368,7 +392,7 @@ func (p *Pager) WritePage(id PageID, buf []byte, lsn uint64) error {
 	if len(buf) != p.usable {
 		return fmt.Errorf("store: buffer is %d bytes, page size is %d", len(buf), p.usable)
 	}
-	return p.writePhysical(id, buf, lsn)
+	return p.writePhysicalLocked(id, buf, lsn)
 }
 
 func (p *Pager) check(id PageID) error {
@@ -392,6 +416,7 @@ func (p *Pager) Sync() error {
 	if err := p.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync: %w", err)
 	}
+	p.om.syncs.Inc()
 	return nil
 }
 

@@ -1,0 +1,32 @@
+package wal
+
+import "walrus/internal/obs"
+
+// logMetrics are one Log's pre-resolved obs handles. The zero value holds
+// only nil handles (every operation a no-op), so the instrumentation sites
+// run unconditionally; clock reads and spans are gated on reg != nil.
+type logMetrics struct {
+	appends, commits, fsyncs, groupCommits, bytesWritten *obs.Counter
+	fsyncSeconds                                         *obs.Histogram
+	reg                                                  *obs.Registry // nil when observability is off
+}
+
+// SetMetrics publishes the log's counters and fsync latency into reg
+// under the walrus_wal_* namespace; nil detaches.
+func (l *Log) SetMetrics(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if reg == nil {
+		l.om = logMetrics{}
+		return
+	}
+	l.om = logMetrics{
+		reg:          reg,
+		appends:      reg.Counter("walrus_wal_appends_total", "Records appended to the write-ahead log."),
+		commits:      reg.Counter("walrus_wal_commits_total", "Commit markers appended to the write-ahead log."),
+		fsyncs:       reg.Counter("walrus_wal_fsync_total", "Write-ahead log fsyncs."),
+		groupCommits: reg.Counter("walrus_wal_group_commits_total", "Group-commit fsyncs triggered by the byte threshold."),
+		bytesWritten: reg.Counter("walrus_wal_bytes_written_total", "Bytes written from the group-commit buffer to the OS."),
+		fsyncSeconds: reg.Histogram("walrus_wal_fsync_seconds", "Write-ahead log fsync latency.", nil),
+	}
+}

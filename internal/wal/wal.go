@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
+	"walrus/internal/obs"
 	"walrus/internal/store"
 )
 
@@ -64,6 +66,8 @@ type Log struct {
 	written int64 // file offset: everything below is written to the OS
 	durable int64 // file offset: everything below is fsynced
 	buf     []byte
+
+	om logMetrics // guarded by mu; zero value = observability off
 }
 
 // Record header layout (RecordOverhead bytes):
@@ -141,9 +145,13 @@ func (l *Log) Size() int64 {
 	return l.written + int64(len(l.buf)) - headerSize
 }
 
-// append frames one record into the group-commit buffer and returns its
+// appendLocked frames one record into the group-commit buffer and returns its
 // LSN. Caller holds mu.
-func (l *Log) append(typ, kind byte, pageID uint32, payload []byte) LSN {
+func (l *Log) appendLocked(typ, kind byte, pageID uint32, payload []byte) LSN {
+	var start time.Time
+	if l.om.reg != nil {
+		start = obs.Clock()
+	}
 	lsn := l.lsnAt(l.written + int64(len(l.buf)))
 	h := [RecordOverhead]byte{}
 	binary.LittleEndian.PutUint32(h[0:], uint32(len(payload)))
@@ -155,6 +163,11 @@ func (l *Log) append(typ, kind byte, pageID uint32, payload []byte) LSN {
 	binary.LittleEndian.PutUint32(h[4:], sum)
 	l.buf = append(l.buf, h[:]...)
 	l.buf = append(l.buf, payload...)
+	l.om.appends.Inc()
+	if l.om.reg != nil {
+		l.om.reg.RecordSpan("wal.append", 0, start, obs.Since(start),
+			obs.Attr{Key: "bytes", Value: int64(RecordOverhead + len(payload))})
+	}
 	return lsn
 }
 
@@ -164,14 +177,14 @@ func (l *Log) append(typ, kind byte, pageID uint32, payload []byte) LSN {
 func (l *Log) AppendPage(pageID uint32, data []byte) LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.append(recPage, 0, pageID, data)
+	return l.appendLocked(recPage, 0, pageID, data)
 }
 
 // AppendApp logs an opaque application record tagged with kind.
 func (l *Log) AppendApp(kind byte, payload []byte) LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.append(recApp, kind, 0, payload)
+	return l.appendLocked(recApp, kind, 0, payload)
 }
 
 // AppendCommit logs a transaction boundary: records appended since the
@@ -179,7 +192,8 @@ func (l *Log) AppendApp(kind byte, payload []byte) LSN {
 func (l *Log) AppendCommit() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.append(recCommit, 0, 0, nil)
+	l.om.commits.Inc()
+	return l.appendLocked(recCommit, 0, 0, nil)
 }
 
 // Flush writes the group-commit buffer to the OS without fsyncing.
@@ -196,6 +210,7 @@ func (l *Log) flushLocked() error {
 	if _, err := l.f.WriteAt(l.buf, l.written); err != nil {
 		return fmt.Errorf("wal: writing %d bytes at %d: %w", len(l.buf), l.written, err)
 	}
+	l.om.bytesWritten.Add(uint64(len(l.buf)))
 	l.written += int64(len(l.buf))
 	l.buf = l.buf[:0]
 	return nil
@@ -215,10 +230,20 @@ func (l *Log) syncLocked() error {
 	if l.durable == l.written {
 		return nil
 	}
+	var start time.Time
+	if l.om.reg != nil {
+		start = obs.Clock()
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.durable = l.written
+	l.om.fsyncs.Inc()
+	if l.om.reg != nil {
+		d := obs.Since(start)
+		l.om.fsyncSeconds.Observe(d.Seconds())
+		l.om.reg.RecordSpan("wal.fsync", 0, start, d)
+	}
 	return nil
 }
 
@@ -232,7 +257,17 @@ func (l *Log) MaybeSync(threshold int64) error {
 		return err
 	}
 	if l.written-l.durable >= threshold {
-		return l.syncLocked()
+		var start time.Time
+		if l.om.reg != nil {
+			start = obs.Clock()
+		}
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		l.om.groupCommits.Inc()
+		if l.om.reg != nil {
+			l.om.reg.RecordSpan("wal.group_commit", 0, start, obs.Since(start))
+		}
 	}
 	return nil
 }
@@ -261,7 +296,7 @@ func (l *Log) EnsureDurable(lsn LSN, sync bool) error {
 func (l *Log) Checkpoint() (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	lsn := l.append(recCheckpoint, 0, 0, nil)
+	lsn := l.appendLocked(recCheckpoint, 0, 0, nil)
 	if err := l.syncLocked(); err != nil {
 		return 0, err
 	}

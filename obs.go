@@ -1,0 +1,151 @@
+package walrus
+
+import (
+	"time"
+
+	"walrus/internal/obs"
+	"walrus/internal/parallel"
+	"walrus/internal/rstar"
+)
+
+// dbMetrics holds the DB's pre-resolved obs handles. One pointer load on
+// the query path decides whether instrumentation runs at all; a nil
+// pointer (observability off) costs a single atomic load and no clock
+// reads beyond the ones QueryStats already pays for.
+type dbMetrics struct {
+	reg *obs.Registry
+
+	queries          *obs.Counter
+	queryRegions     *obs.Counter
+	regionsRetrieved *obs.Counter
+	candidates       *obs.Counter
+
+	querySeconds   *obs.Histogram
+	extractSeconds *obs.Histogram
+	probeSeconds   *obs.Histogram
+	scoreSeconds   *obs.Histogram
+
+	ingests       *obs.Counter
+	ingestRegions *obs.Counter
+	ingestSeconds *obs.Histogram
+	removes       *obs.Counter
+	checkpoints   *obs.Counter
+
+	images  *obs.Gauge
+	regions *obs.Gauge
+}
+
+// SetMetrics attaches an observability registry to the database and every
+// subsystem under it: query and ingest phase metrics publish alongside the
+// buffer pool, pager, heap, WAL, R*-tree and worker-pool counters in one
+// namespace. Passing nil detaches everything (the default state: with no
+// registry the instrumentation is a nil fast path).
+//
+// The registry is attached at runtime rather than through Options because
+// Options is gob-encoded into the on-disk catalog. Call SetMetrics after
+// New, Create or Open; it is safe to call while readers run, but metrics
+// recorded before the call are not retroactively created.
+//
+// The worker-pool gauges are process-global: when several databases share
+// a process, the last SetMetrics call wins for walrus_pool_*.
+func (db *DB) SetMetrics(reg *obs.Registry) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.tree.(*rstar.Tree); ok {
+		t.SetMetrics(reg)
+	}
+	if p := db.persist; p != nil {
+		p.pool.SetMetrics(reg)
+		p.pg.SetMetrics(reg)
+		p.heap.SetMetrics(reg)
+		p.wal.SetMetrics(reg)
+	}
+	parallel.SetMetrics(reg)
+	if reg == nil {
+		db.om.Store(nil)
+		return
+	}
+	m := &dbMetrics{
+		reg:              reg,
+		queries:          reg.Counter("walrus_query_total", "Queries served."),
+		queryRegions:     reg.Counter("walrus_query_regions_total", "Regions extracted from query images."),
+		regionsRetrieved: reg.Counter("walrus_query_regions_retrieved_total", "Matching database regions retrieved by index probes."),
+		candidates:       reg.Counter("walrus_query_candidates_total", "Candidate images scored by queries."),
+		querySeconds:     reg.Histogram("walrus_query_seconds", "End-to-end query latency.", nil),
+		extractSeconds:   reg.Histogram("walrus_query_extract_seconds", "Query region-extraction phase latency.", nil),
+		probeSeconds:     reg.Histogram("walrus_query_probe_seconds", "Query index-probe phase latency.", nil),
+		scoreSeconds:     reg.Histogram("walrus_query_score_seconds", "Query candidate-scoring phase latency.", nil),
+		ingests:          reg.Counter("walrus_ingest_total", "Images ingested."),
+		ingestRegions:    reg.Counter("walrus_ingest_regions_total", "Regions indexed by ingest."),
+		ingestSeconds:    reg.Histogram("walrus_ingest_seconds", "Per-image catalog and index insertion latency (excludes region extraction).", nil),
+		removes:          reg.Counter("walrus_removes_total", "Images removed."),
+		checkpoints:      reg.Counter("walrus_checkpoints_total", "Checkpoints taken by the disk store."),
+		images:           reg.Gauge("walrus_images", "Indexed images."),
+		regions:          reg.Gauge("walrus_regions", "Live indexed regions."),
+	}
+	m.images.Set(int64(len(db.byID)))
+	live := 0
+	for _, ref := range db.refs {
+		if ref.Local >= 0 {
+			live++
+		}
+	}
+	m.regions.Set(int64(live))
+	if p := db.persist; p != nil {
+		publishRecovery(reg, p.recovery)
+	}
+	db.om.Store(m)
+}
+
+// publishRecovery exposes the crash-recovery stats of the last Open as
+// gauges; they describe a one-time event, not an accumulating count.
+func publishRecovery(reg *obs.Registry, rs RecoveryStats) {
+	replayed := int64(0)
+	if rs.Replayed {
+		replayed = 1
+	}
+	reg.Gauge("walrus_recovery_replayed", "1 when the last Open replayed a WAL after an unclean shutdown.").Set(replayed)
+	reg.Gauge("walrus_recovery_records_scanned", "WAL records scanned by the last recovery.").Set(int64(rs.RecordsScanned))
+	reg.Gauge("walrus_recovery_pages_applied", "Page images applied by the last recovery.").Set(int64(rs.PagesApplied))
+	reg.Gauge("walrus_recovery_pages_skipped", "Page images skipped by the last recovery (already on disk).").Set(int64(rs.PagesSkipped))
+	reg.Gauge("walrus_recovery_app_records", "Catalog deltas delivered by the last recovery.").Set(int64(rs.AppRecords))
+}
+
+// Metrics returns a point-in-time snapshot of every metric in the
+// registry attached with SetMetrics — the programmatic counterpart of the
+// /metrics endpoint. With no registry attached it returns an empty
+// snapshot with non-nil maps.
+func (db *DB) Metrics() obs.Snapshot {
+	if m := db.om.Load(); m != nil {
+		return m.reg.Snapshot()
+	}
+	var none *obs.Registry
+	return none.Snapshot()
+}
+
+// observeQuery publishes one successful query into the registry: the same
+// quantities Query returns in QueryStats, re-emitted as counters and phase
+// histograms, plus a query span with extract/probe/score children. The
+// spans are recorded retroactively from the timings QueryStats already
+// measured, so observability adds no clock reads to the query path.
+func (db *DB) observeQuery(start, probeStart, scoreStart time.Time, stats QueryStats) {
+	m := db.om.Load()
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	m.queryRegions.Add(uint64(stats.QueryRegions))
+	m.regionsRetrieved.Add(uint64(stats.RegionsRetrieved))
+	m.candidates.Add(uint64(stats.CandidateImages))
+	m.querySeconds.Observe(stats.Elapsed.Seconds())
+	m.extractSeconds.Observe(stats.ExtractTime.Seconds())
+	m.probeSeconds.Observe(stats.ProbeTime.Seconds())
+	m.scoreSeconds.Observe(stats.ScoreTime.Seconds())
+	root := m.reg.RecordSpan("query", 0, start, stats.Elapsed,
+		obs.Attr{Key: "query_regions", Value: int64(stats.QueryRegions)},
+		obs.Attr{Key: "regions_retrieved", Value: int64(stats.RegionsRetrieved)},
+		obs.Attr{Key: "candidates", Value: int64(stats.CandidateImages)})
+	m.reg.RecordSpan("query.extract", root, start, stats.ExtractTime)
+	m.reg.RecordSpan("query.probe", root, probeStart, stats.ProbeTime)
+	m.reg.RecordSpan("query.score", root, scoreStart, stats.ScoreTime)
+}

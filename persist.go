@@ -460,6 +460,9 @@ func (db *DB) checkpointLocked(logPending bool) error {
 		return err
 	}
 	p.metaVer = p.pg.MetaVersion()
+	if m := db.om.Load(); m != nil {
+		m.checkpoints.Inc()
+	}
 	return nil
 }
 

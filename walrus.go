@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"walrus/internal/imgio"
@@ -195,6 +196,11 @@ type DB struct {
 	// persist is set before the DB is published and nilled only by Close;
 	// its own state is mutated exclusively under mu.
 	persist *persistState // nil for in-memory databases
+
+	// om points at the pre-resolved observability handles installed by
+	// SetMetrics; nil (the default) means observability is off and the
+	// instrumented paths reduce to one atomic load.
+	om atomic.Pointer[dbMetrics]
 }
 
 // New creates an in-memory database.
@@ -434,6 +440,7 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 	}
 	stats.ScoreTime = statsSince(scoreStart)
 	stats.Elapsed = statsSince(start)
+	db.observeQuery(start, probeStart, scoreStart, stats)
 	return matches, stats, nil
 }
 
@@ -447,6 +454,7 @@ func (db *DB) Remove(id string) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	tombstoned := 0
 	for payload, ref := range db.refs {
 		if ref.Image != imgIdx || ref.Local < 0 {
 			continue
@@ -465,6 +473,7 @@ func (db *DB) Remove(id string) (bool, error) {
 			}
 		}
 		db.refs[payload].Local = -1 // tombstone
+		tombstoned++
 	}
 	delete(db.byID, id)
 	db.images[imgIdx].Regions = nil
@@ -473,6 +482,11 @@ func (db *DB) Remove(id string) (bool, error) {
 		if err := db.commitLocked(&walDelta{Op: deltaRemove, ID: id}); err != nil {
 			return true, err
 		}
+	}
+	if m := db.om.Load(); m != nil {
+		m.removes.Inc()
+		m.images.Set(int64(len(db.byID)))
+		m.regions.Add(-int64(tombstoned))
 	}
 	return true, nil
 }
