@@ -20,15 +20,20 @@ type BatchItem struct {
 // up to workers goroutines (0 = the database's Parallelism option, itself
 // defaulting to GOMAXPROCS) while keeping index insertion ordered and
 // serialized — the resulting database is identical for every worker
-// count. It stops at the first error; items before the failing one remain
-// indexed.
+// count. The whole batch is published as a single catalog version, so
+// concurrent readers observe either none or all of its images (unless it
+// fails partway: it stops at the first error, and items before the
+// failing one remain indexed).
 func (db *DB) AddBatch(items []BatchItem, workers int) error {
 	regions, errs := db.extractAll(items, workers)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer db.publishLocked()
 	for i, it := range items {
 		if errs[i] != nil {
 			return fmt.Errorf("walrus: extracting regions of %q: %w", it.ID, errs[i])
 		}
-		if err := db.addExtracted(it.ID, it.Image, regions[i]); err != nil {
+		if err := db.addExtractedLocked(it.ID, it.Image, regions[i]); err != nil {
 			return err
 		}
 	}
@@ -46,10 +51,9 @@ func (db *DB) extractAll(items []BatchItem, workers int) ([][]region.Region, []e
 	return extracted, errs
 }
 
-// addExtracted is Add's insertion half, reused by AddBatch.
-func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// addExtractedLocked is Add's insertion half, reused by AddBatch. Caller
+// holds db.mu exclusively and publishes after the last insertion.
+func (db *DB) addExtractedLocked(id string, im *imgio.Image, regions []region.Region) error {
 	m := db.om.Load()
 	var start time.Time
 	if m != nil {
@@ -59,8 +63,10 @@ func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) 
 		return fmt.Errorf("walrus: image %q already indexed", id)
 	}
 	imgIdx := len(db.images)
+	// Appends extend the catalog past any published length, which never
+	// moves published elements; only the id map needs copy-on-write.
 	db.images = append(db.images, imageRecord{ID: id, W: im.W, H: im.H, Regions: regions})
-	db.byID[id] = imgIdx
+	db.mutableByIDLocked()[id] = imgIdx
 	var rids []uint64
 	for local, r := range regions {
 		payload := int64(len(db.refs))
@@ -78,10 +84,11 @@ func (db *DB) addExtracted(id string, im *imgio.Image, regions []region.Region) 
 			rids = append(rids, ref.RID)
 		}
 		db.refs = append(db.refs, ref)
-		if err := db.tree.Insert(db.signatureRectLocked(r), payload); err != nil {
+		if err := db.tree.Insert(signatureRect(db.opts.UseBBox, r), payload); err != nil {
 			return fmt.Errorf("walrus: indexing region of %q: %w", id, err)
 		}
 	}
+	db.liveRegions += len(regions)
 	if db.persist != nil {
 		if err := db.commitLocked(&walDelta{Op: deltaAdd, ID: id, W: im.W, H: im.H, RIDs: rids}); err != nil {
 			return err
@@ -115,19 +122,12 @@ type Stats struct {
 
 // Stats returns a snapshot of database statistics.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	live := 0
-	for _, ref := range db.refs {
-		if ref.Local >= 0 {
-			live++
-		}
-	}
+	core := db.cur.Load()
 	return Stats{
-		Images:       len(db.byID),
-		Regions:      live,
-		IndexHeight:  db.tree.Height(),
-		SignatureDim: db.opts.Region.Dim(),
-		DiskBacked:   db.persist != nil,
+		Images:       len(core.byID),
+		Regions:      core.liveRegions,
+		IndexHeight:  core.height,
+		SignatureDim: core.opts.Region.Dim(),
+		DiskBacked:   core.diskBacked,
 	}
 }

@@ -41,7 +41,7 @@ func BuildFrom(opts Options, items []BatchItem, workers int) (*DB, error) {
 		for local, r := range extracted[i] {
 			payloads = append(payloads, int64(len(db.refs)))
 			db.refs = append(db.refs, regionRef{Image: imgIdx, Local: local})
-			rects = append(rects, db.signatureRectLocked(r))
+			rects = append(rects, signatureRect(opts.UseBBox, r))
 		}
 	}
 
@@ -53,11 +53,15 @@ func BuildFrom(opts Options, items []BatchItem, workers int) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := rstar.BulkLoad(ms, rects, payloads)
+	// Bulk-load through the versioned store before the first publish:
+	// construction writes are epoch-0 and retain no pre-images.
+	tree, err := rstar.BulkLoad(rstar.NewVersioned(ms), rects, payloads)
 	if err != nil {
 		return nil, err
 	}
 	db.tree = tree
+	db.liveRegions = len(db.refs)
+	db.publishLocked()
 	return db, nil
 }
 
@@ -70,7 +74,7 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 	if opts.Index != IndexRStar {
 		return nil, fmt.Errorf("walrus: disk-backed databases support only the %v index backend", IndexRStar)
 	}
-	db, err := Create(dir, opts)
+	db, err := createDB(dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -102,18 +106,23 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 			}
 			payloads = append(payloads, int64(len(db.refs)))
 			db.refs = append(db.refs, regionRef{Image: imgIdx, Local: local, RID: rid.Pack()})
-			rects = append(rects, db.signatureRectLocked(r))
+			rects = append(rects, signatureRect(opts.UseBBox, r))
 		}
 	}
 
-	tree, err := rstar.BulkLoad(db.persist.ps, rects, payloads)
+	// Bulk-load through the same versioned store the empty tree was
+	// created on; the database has published no version yet, so the load
+	// retains no pre-images, and the publish below produces version 1.
+	tree, err := rstar.BulkLoad(db.tree.(*rstar.Tree).Versioned(), rects, payloads)
 	if err != nil {
 		return nil, errors.Join(err, db.Close())
 	}
 	db.tree = tree
+	db.liveRegions = len(db.refs)
 	if err := db.endBulkLoad(); err != nil {
 		return nil, errors.Join(err, db.Close())
 	}
+	db.publishLocked()
 	return db, nil
 }
 

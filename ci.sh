@@ -1,8 +1,8 @@
 #!/bin/sh
 # CI gate for the WALRUS repo. Tiers:
 #   1. formatting + static analysis (gofmt, go vet, walrus-lint — the
-#      repo's own analyzers: determinism, errsink, lockdiscipline,
-#      parallelconv; see DESIGN.md "Static analysis")
+#      repo's own analyzers: determinism, errsink, lockdiscipline, obs,
+#      parallelconv, snapshotsafe; see DESIGN.md "Static analysis")
 #   2. build
 #   3. race tier: go test -race -short — runs the concurrency stress
 #      tests (mixed Add/Query/Remove) under the race detector on every PR
@@ -10,6 +10,10 @@
 #      Add/Query/Remove stress runs and fails on malformed Prometheus
 #      text or expvar JSON (TestObsScrapeUnderLoad + the exposition
 #      validator's own tests)
+#   3c. snapshot tier: stresses snapshot acquire/release against
+#      concurrent publication under the race detector and fails if the
+#      active-snapshots gauge does not drain to zero (pin leak) or a
+#      pinned version tears
 #   4. full test suite
 #   5. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
 #      target (PPM decoder, WAL replay) for a few seconds of random input
@@ -43,6 +47,9 @@ go test -race -short ./...
 echo "== tier 1: obs (scrape during stress) =="
 go test -race -count=1 -run 'TestObsScrapeUnderLoad|TestObsCountDeterminism' .
 go test -count=1 -run 'TestPrometheusOutputValidates|TestValidatePrometheusRejectsMalformed|TestHandlerEndpoints' ./internal/obs
+
+echo "== tier 1: snapshot (acquire/release vs publish, leak check) =="
+go test -race -count=1 -run 'TestSnapshot' .
 
 echo "== tier 1: full tests =="
 go test ./...

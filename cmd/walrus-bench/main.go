@@ -28,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("walrus-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, obs-overhead, all")
+		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, obs-overhead, snapshot, all")
 		imgSize = flag.Int("image-size", 256, "image side for Figure 6 (paper: 256)")
 		maxWin  = flag.Int("max-window", 128, "largest window for Figure 6(a) (paper: 128)")
 		maxSig  = flag.Int("max-signature", 32, "largest signature for Figure 6(b) (paper: 32)")
@@ -38,6 +38,7 @@ func main() {
 		regimgs = flag.Int("region-images", 6, "images sampled for the §6.6 region-count sweep")
 		par     = flag.Int("parallelism", 0, "worker pool size for the parallel experiment (0 = GOMAXPROCS)")
 		obsOut  = flag.String("obs-json", "BENCH_obs.json", "output file for the obs-overhead measurement")
+		snapOut = flag.String("snapshot-json", "BENCH_snapshot.json", "output file for the snapshot churn measurement")
 	)
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -71,7 +72,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel") || want("durability") || want("obs-overhead")
+	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel") || want("durability") || want("obs-overhead") || want("snapshot")
 	if !needDataset {
 		return
 	}
@@ -181,6 +182,23 @@ func main() {
 		fmt.Fprintf(out, "wrote %s\n\n", *obsOut)
 	}
 
+	if want("snapshot") {
+		fmt.Fprintln(out, "== Snapshot isolation: query latency while the catalog churns ==")
+		res, err := experiments.SnapshotChurn(ds, cfg.Options, 24, 60, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintSnapshotChurn(out, res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*snapOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n\n", *snapOut)
+	}
+
 	if want("durability") {
 		fmt.Fprintln(out, "== Durability: WAL fsync policy vs ingest throughput ==")
 		rows, err := experiments.DurabilitySweep(ds, cfg.Options)
@@ -245,7 +263,7 @@ func main() {
 }
 
 func isKnown(e string) bool {
-	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability obs-overhead all") {
+	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability obs-overhead snapshot all") {
 		if e == k {
 			return true
 		}

@@ -1,5 +1,6 @@
 // Command walrus-lint runs the repository's custom static analyzers
-// (determinism, errsink, lockdiscipline, parallelconv) over the module.
+// (determinism, errsink, lockdiscipline, parallelconv, snapshotsafe)
+// over the module.
 //
 // Usage:
 //

@@ -132,7 +132,10 @@ func TestConcurrentMixedOracle(t *testing.T) {
 		}
 	}()
 	// Queriers: hammer reads (parallel and serial execution) while the
-	// writers run.
+	// writers run. Each iteration works on one explicit snapshot and
+	// checks it observed exactly one published version: every accessor
+	// agrees on the image set, and query results never name an image the
+	// snapshot does not contain.
 	for g := 0; g < 4; g++ {
 		g := g
 		wg.Add(1)
@@ -140,13 +143,47 @@ func TestConcurrentMixedOracle(t *testing.T) {
 			defer wg.Done()
 			p := DefaultQueryParams()
 			p.Parallelism = g % 3 // mix of GOMAXPROCS, serial, and 2-way
+			lastVersion := uint64(0)
 			for i := 0; i < 8; i++ {
-				if _, _, err := db.Query(queries[i%len(queries)], p); err != nil {
+				s, err := db.Snapshot()
+				if err != nil {
 					errs <- err
 					return
 				}
-				db.Stats()
-				db.RegionsOf(seeds[0].id)
+				if v := s.Version(); v < lastVersion {
+					errs <- fmt.Errorf("snapshot version went backwards: %d after %d", v, lastVersion)
+					s.Release()
+					return
+				} else {
+					lastVersion = v
+				}
+				ids := s.IDs()
+				if s.Len() != len(ids) || s.Stats().Images != s.Len() {
+					errs <- fmt.Errorf("torn snapshot v%d: Len %d, IDs %d, Stats.Images %d",
+						s.Version(), s.Len(), len(ids), s.Stats().Images)
+					s.Release()
+					return
+				}
+				present := make(map[string]bool, len(ids))
+				for _, id := range ids {
+					present[id] = true
+				}
+				matches, _, err := s.Query(queries[i%len(queries)], p)
+				if err != nil {
+					errs <- err
+					s.Release()
+					return
+				}
+				for _, m := range matches {
+					if !present[m.ID] {
+						errs <- fmt.Errorf("snapshot v%d: query matched %q outside its version", s.Version(), m.ID)
+						s.Release()
+						return
+					}
+				}
+				s.Stats()
+				s.RegionsOf(seeds[0].id)
+				s.Release()
 			}
 		}()
 	}

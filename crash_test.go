@@ -34,7 +34,10 @@ func crashWorkload(t *testing.T, o Options) []crashOp {
 			t.Fatal(err)
 		}
 		return crashOp{"add " + id, func(db *DB) error {
-			return db.addExtracted(id, im, regions)
+			db.mu.Lock()
+			defer db.mu.Unlock()
+			defer db.publishLocked()
+			return db.addExtractedLocked(id, im, regions)
 		}}
 	}
 	rm := func(id string) crashOp {

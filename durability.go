@@ -98,4 +98,7 @@ func (db *DB) SetDurability(p DurabilityPolicy) {
 	if db.persist != nil {
 		db.persist.policy = p
 	}
+	// The changed option is part of the published state (Options reads
+	// the current snapshot), so commit it as a new version.
+	db.publishLocked()
 }

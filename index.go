@@ -2,6 +2,7 @@ package walrus
 
 import (
 	"fmt"
+	"sync"
 
 	"walrus/internal/gist"
 	"walrus/internal/rstar"
@@ -45,9 +46,15 @@ type spatialIndex interface {
 // rstar.Tree satisfies spatialIndex directly.
 var _ spatialIndex = (*rstar.Tree)(nil)
 
-// gistIndex adapts the generic GiST to spatialIndex.
+// gistIndex adapts the generic GiST to spatialIndex. Unlike the R*-tree
+// it has no versioned node store, so snapshot reads cannot pin an epoch;
+// instead the adapter carries its own RWMutex and gistView probes the
+// live tree under the read lock (see gistView for the isolation
+// consequences). Writers already serialize on db.mu; the internal lock
+// only orders them against lock-free snapshot readers.
 type gistIndex struct {
-	t *gist.Tree[rstar.Rect]
+	mu sync.RWMutex
+	t  *gist.Tree[rstar.Rect]
 }
 
 func newGistIndex(dim, capacity int) (*gistIndex, error) {
@@ -62,15 +69,21 @@ func newGistIndex(dim, capacity int) (*gistIndex, error) {
 }
 
 func (g *gistIndex) Insert(r rstar.Rect, data int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.t.Insert(r, data)
 	return nil
 }
 
 func (g *gistIndex) Delete(r rstar.Rect, data int64) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.t.Delete(r, data), nil
 }
 
 func (g *gistIndex) SearchAll(q rstar.Rect) ([]rstar.Entry, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var out []rstar.Entry
 	g.t.Search(q, func(key rstar.Rect, data int64) bool {
 		out = append(out, rstar.Entry{Rect: key, Data: data})
@@ -79,6 +92,14 @@ func (g *gistIndex) SearchAll(q rstar.Rect) ([]rstar.Entry, error) {
 	return out, nil
 }
 
-func (g *gistIndex) Len() int { return g.t.Len() }
+func (g *gistIndex) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.t.Len()
+}
 
-func (g *gistIndex) Height() int { return g.t.Height() }
+func (g *gistIndex) Height() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.t.Height()
+}

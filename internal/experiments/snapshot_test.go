@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"walrus/internal/dataset"
+)
+
+func TestSnapshotChurn(t *testing.T) {
+	ds := smallDataset(t, 6, dataset.Flowers, dataset.Ocean)
+	cfg := smallConfig()
+	res, err := SnapshotChurn(ds, cfg.Options, 6, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Images != 6 || res.QueriesPerPhase != 8 || res.ChurnBatch != 2 {
+		t.Fatalf("workload shape not echoed: %+v", res)
+	}
+	if res.IdleP50Ns <= 0 || res.ContendedP50Ns <= 0 || res.P50Ratio <= 0 {
+		t.Fatalf("missing percentiles: %+v", res)
+	}
+	// Every contended query is preceded by one churn publish (AddBatch)
+	// plus removals; the version must have advanced at least once per
+	// timed query and the publish counter must agree with the delta.
+	if res.VersionEnd < res.VersionStart+uint64(res.QueriesPerPhase) {
+		t.Fatalf("version advanced %d -> %d, want at least %d steps",
+			res.VersionStart, res.VersionEnd, res.QueriesPerPhase)
+	}
+	if res.Publishes == 0 {
+		t.Fatal("publish counter never incremented")
+	}
+	if !res.PinnedLenStable {
+		t.Fatal("pinned snapshot drifted while the catalog churned")
+	}
+	if res.ActiveAtEnd != 0 {
+		t.Fatalf("snapshot leak: %d still active", res.ActiveAtEnd)
+	}
+	var buf bytes.Buffer
+	PrintSnapshotChurn(&buf, res)
+	for _, want := range []string{"contended/idle ratio", "pinned snapshot"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("printout missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -36,6 +36,24 @@ func TestObsFixture(t *testing.T) {
 	runFixture(t, "obsfix", Obs)
 }
 
+func TestSnapshotSafeFixture(t *testing.T) {
+	runFixture(t, "snapfix", SnapshotSafe)
+}
+
+// TestSnapshotSafeScoping proves the analyzer stays silent for packages
+// outside the module root that have not opted in, even when they define
+// a type named Snapshot.
+func TestSnapshotSafeScoping(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir("testdata/src/determnoscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{SnapshotSafe}); len(diags) != 0 {
+		t.Errorf("snapshotsafe fired outside its scope:\n%s", fmtDiags(diags))
+	}
+}
+
 // TestObsScoping proves the obs analyzer stays silent for packages outside
 // the instrumented set that have not opted in (determnoscope reads the
 // clock directly and carries no scope directive for obs).
@@ -69,7 +87,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"determinism", "errsink", "lockdiscipline", "obs", "parallelconv"} {
+	for _, want := range []string{"determinism", "errsink", "lockdiscipline", "obs", "parallelconv", "snapshotsafe"} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}

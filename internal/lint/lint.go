@@ -18,6 +18,8 @@
 //     named on the shared clockExempt list.
 //   - parallelconv: closures handed to internal/parallel pools must write
 //     per-index slots, never shared captured state.
+//   - snapshotsafe: methods of the root package's Snapshot type must stay
+//     lock-free and must not mutate published snapshot state.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -106,7 +108,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the repo's analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ErrSink, LockDiscipline, Obs, ParallelConv}
+	return []*Analyzer{Determinism, ErrSink, LockDiscipline, Obs, ParallelConv, SnapshotSafe}
 }
 
 // lintIgnoreName is the pseudo-analyzer that owns directive-hygiene

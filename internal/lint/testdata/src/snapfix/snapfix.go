@@ -1,0 +1,78 @@
+// Fixture for the snapshotsafe analyzer: a miniature of the root
+// package's snapshot layer, with methods that respect and violate the
+// two contract halves (lock-free reads, immutable published state).
+package snapfix
+
+//walrus:lint-scope snapshotsafe
+
+import "sync"
+
+type snapCore struct {
+	version uint64
+	ids     []string
+	byID    map[string]int
+	counts  []int
+}
+
+type DB struct {
+	mu   sync.RWMutex
+	core *snapCore
+}
+
+type Snapshot struct {
+	core *snapCore
+	db   *DB
+}
+
+// Good: reads only.
+func (s *Snapshot) Len() int { return len(s.core.ids) }
+
+func (s *Snapshot) Lookup(id string) (int, bool) {
+	idx, ok := s.core.byID[id]
+	return idx, ok
+}
+
+// Good: writes to locals and parameters are not snapshot mutations.
+func (s *Snapshot) Collect(out []string) []string {
+	for _, id := range s.core.ids {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (s *Snapshot) BadLock() int {
+	s.db.mu.RLock() // want `snapshot methods are lock-free by contract: s.db.mu.RLock must not acquire a mutex inside Snapshot.BadLock`
+	n := len(s.core.ids)
+	s.db.mu.RUnlock() // want `snapshot methods are lock-free by contract: s.db.mu.RUnlock must not acquire a mutex inside Snapshot.BadLock`
+	return n
+}
+
+func (s *Snapshot) BadWriteField() {
+	s.core.version = 99 // want `snapshot state is immutable: s.core.version is written inside Snapshot.BadWriteField`
+}
+
+func (s *Snapshot) BadWriteSlice(i int) {
+	s.core.ids[i] = "" // want `snapshot state is immutable: s.core.ids\[i\] is written inside Snapshot.BadWriteSlice`
+}
+
+func (s *Snapshot) BadIncDec() {
+	s.core.counts[0]++ // want `snapshot state is immutable: s.core.counts\[0\] is written inside Snapshot.BadIncDec`
+}
+
+func (s *Snapshot) BadDelete(id string) {
+	delete(s.core.byID, id) // want `snapshot state is immutable: delete from s.core.byID mutates published snapshot state in Snapshot.BadDelete`
+}
+
+// BadAlias mutates through a local alias of the core: the check is
+// type-based, so renaming the path does not evade it.
+func (s *Snapshot) BadAlias() {
+	core := s.core
+	core.version = 1 // want `snapshot state is immutable: core.version is written inside Snapshot.BadAlias`
+}
+
+// mutate exists so unrelated methods of other receivers stay unchecked.
+func (db *DB) mutate() {
+	db.mu.Lock()
+	db.core.version++
+	db.mu.Unlock()
+}

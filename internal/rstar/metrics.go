@@ -15,6 +15,9 @@ type treeMetrics struct {
 // walrus_rstar_* namespace; nil detaches. Safe to call concurrently with
 // Search.
 func (t *Tree) SetMetrics(reg *obs.Registry) {
+	if vs := t.Versioned(); vs != nil {
+		vs.setMetrics(reg)
+	}
 	if reg == nil {
 		t.om.Store(nil)
 		return

@@ -45,7 +45,9 @@ type Meta struct {
 // NodeStore abstracts node persistence. Implementations must support at
 // least MaxEntries() entries per node; the tree never stores more than
 // that. Get may return a shared or fresh copy; the tree always calls Put
-// after mutating a node.
+// after mutating a node, and never mutates a node object again after
+// Put without re-fetching it — VersionedStore's zero-copy pre-image
+// capture relies on stored node objects staying stable.
 type NodeStore interface {
 	// Dim is the dimensionality of all rectangles in the store.
 	Dim() int

@@ -11,7 +11,9 @@ import (
 
 // Tree is an R*-tree over a NodeStore. It is not safe for concurrent
 // mutation; concurrent Search calls are safe only against an immutable
-// tree backed by a concurrency-safe store.
+// tree backed by a concurrency-safe store. For reads that must run
+// concurrently with mutation, back the tree with a VersionedStore and
+// search through epoch-pinned SnapshotView views instead.
 type Tree struct {
 	store  NodeStore
 	dim    int
@@ -358,12 +360,12 @@ func (t *Tree) Search(q Rect, fn func(Entry) bool) error {
 	}
 	m := t.om.Load()
 	if m == nil {
-		_, err := t.search(t.root, q, fn, nil)
+		_, err := searchFrom(t.store.Get, t.root, q, fn, nil)
 		return err
 	}
 	start := obs.Clock()
 	visits := 0
-	_, err := t.search(t.root, q, fn, &visits)
+	_, err := searchFrom(t.store.Get, t.root, q, fn, &visits)
 	m.searches.Inc()
 	m.nodeVisits.Add(uint64(visits))
 	m.reg.RecordSpan("rstar.search", 0, start, obs.Since(start),
@@ -371,11 +373,13 @@ func (t *Tree) Search(q Rect, fn func(Entry) bool) error {
 	return err
 }
 
-func (t *Tree) search(id NodeID, q Rect, fn func(Entry) bool, visits *int) (bool, error) {
+// searchFrom is the range-search recursion over an arbitrary node fetcher,
+// shared by the live tree (store.Get) and epoch-pinned views (getAt).
+func searchFrom(get func(NodeID) (*Node, error), id NodeID, q Rect, fn func(Entry) bool, visits *int) (bool, error) {
 	if visits != nil {
 		*visits++
 	}
-	n, err := t.store.Get(id)
+	n, err := get(id)
 	if err != nil {
 		return false, err
 	}
@@ -389,7 +393,7 @@ func (t *Tree) search(id NodeID, q Rect, fn func(Entry) bool, visits *int) (bool
 			}
 			continue
 		}
-		cont, err := t.search(e.Child, q, fn, visits)
+		cont, err := searchFrom(get, e.Child, q, fn, visits)
 		if err != nil || !cont {
 			return cont, err
 		}

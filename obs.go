@@ -1,8 +1,6 @@
 package walrus
 
 import (
-	"time"
-
 	"walrus/internal/obs"
 	"walrus/internal/parallel"
 	"walrus/internal/rstar"
@@ -33,6 +31,12 @@ type dbMetrics struct {
 
 	images  *obs.Gauge
 	regions *obs.Gauge
+
+	snapshotVersion *obs.Gauge
+	activeSnapshots *obs.Gauge
+	snapshotsTotal  *obs.Counter
+	publishes       *obs.Counter
+	publishSeconds  *obs.Histogram
 }
 
 // SetMetrics attaches an observability registry to the database and every
@@ -82,15 +86,17 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 		checkpoints:      reg.Counter("walrus_checkpoints_total", "Checkpoints taken by the disk store."),
 		images:           reg.Gauge("walrus_images", "Indexed images."),
 		regions:          reg.Gauge("walrus_regions", "Live indexed regions."),
+		snapshotVersion:  reg.Gauge("walrus_snapshot_version", "Currently published catalog version."),
+		activeSnapshots:  reg.Gauge("walrus_snapshots_active", "Snapshots acquired and not yet released."),
+		snapshotsTotal:   reg.Counter("walrus_snapshots_total", "Snapshots acquired."),
+		publishes:        reg.Counter("walrus_publishes_total", "Catalog versions published by writers."),
+		publishSeconds:   reg.Histogram("walrus_publish_seconds", "Latency of building and publishing one catalog version.", nil),
 	}
 	m.images.Set(int64(len(db.byID)))
-	live := 0
-	for _, ref := range db.refs {
-		if ref.Local >= 0 {
-			live++
-		}
+	m.regions.Set(int64(db.liveRegions))
+	if c := db.cur.Load(); c != nil {
+		m.snapshotVersion.Set(int64(c.version))
 	}
-	m.regions.Set(int64(live))
 	if p := db.persist; p != nil {
 		publishRecovery(reg, p.recovery)
 	}
@@ -121,31 +127,4 @@ func (db *DB) Metrics() obs.Snapshot {
 	}
 	var none *obs.Registry
 	return none.Snapshot()
-}
-
-// observeQuery publishes one successful query into the registry: the same
-// quantities Query returns in QueryStats, re-emitted as counters and phase
-// histograms, plus a query span with extract/probe/score children. The
-// spans are recorded retroactively from the timings QueryStats already
-// measured, so observability adds no clock reads to the query path.
-func (db *DB) observeQuery(start, probeStart, scoreStart time.Time, stats QueryStats) {
-	m := db.om.Load()
-	if m == nil {
-		return
-	}
-	m.queries.Inc()
-	m.queryRegions.Add(uint64(stats.QueryRegions))
-	m.regionsRetrieved.Add(uint64(stats.RegionsRetrieved))
-	m.candidates.Add(uint64(stats.CandidateImages))
-	m.querySeconds.Observe(stats.Elapsed.Seconds())
-	m.extractSeconds.Observe(stats.ExtractTime.Seconds())
-	m.probeSeconds.Observe(stats.ProbeTime.Seconds())
-	m.scoreSeconds.Observe(stats.ScoreTime.Seconds())
-	root := m.reg.RecordSpan("query", 0, start, stats.Elapsed,
-		obs.Attr{Key: "query_regions", Value: int64(stats.QueryRegions)},
-		obs.Attr{Key: "regions_retrieved", Value: int64(stats.RegionsRetrieved)},
-		obs.Attr{Key: "candidates", Value: int64(stats.CandidateImages)})
-	m.reg.RecordSpan("query.extract", root, start, stats.ExtractTime)
-	m.reg.RecordSpan("query.probe", root, probeStart, stats.ProbeTime)
-	m.reg.RecordSpan("query.score", root, scoreStart, stats.ScoreTime)
 }

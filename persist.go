@@ -118,6 +118,18 @@ type catalogData struct {
 // Create creates a disk-backed database in dir (which is created if
 // needed).
 func Create(dir string, opts Options) (*DB, error) {
+	db, err := createDB(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	db.publishLocked()
+	return db, nil
+}
+
+// createDB is Create without the final version-1 publish, so CreateFrom
+// can bulk-load before any version exists (pre-publish index writes need
+// no copy-on-write capture) and publish exactly once at the end.
+func createDB(dir string, opts Options) (*DB, error) {
 	if opts.Index != IndexRStar {
 		return nil, fmt.Errorf("walrus: disk-backed databases support only the %v index backend", IndexRStar)
 	}
@@ -159,7 +171,7 @@ func Create(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, errors.Join(err, closeAll())
 	}
-	tree, err := rstar.New(p.ps)
+	tree, err := rstar.New(rstar.NewVersioned(p.ps))
 	if err != nil {
 		return nil, errors.Join(err, closeAll())
 	}
@@ -261,7 +273,7 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 	if err != nil {
 		return nil, errors.Join(err, closeAll())
 	}
-	tree, err := rstar.Load(p.ps)
+	tree, err := rstar.Load(rstar.NewVersioned(p.ps))
 	if err != nil {
 		return nil, errors.Join(err, closeAll())
 	}
@@ -316,13 +328,27 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 		db.images[ref.Image].Regions[ref.Local] = r
 	}
 
+	db.liveRegions = countLiveRefs(db.refs)
 	db.tree = tree
 	db.persist = p
+	db.publishLocked()
 	return db, nil
 }
 
+// countLiveRefs counts refs that are not tombstoned; constructors call
+// it once so writers can keep the count incremental afterwards.
+func countLiveRefs(refs []regionRef) int {
+	n := 0
+	for _, ref := range refs {
+		if ref.Local >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // applyDeltaLocked replays one committed catalog delta onto the in-memory
-// catalog, mirroring exactly what addExtracted and Remove do to it. The
+// catalog, mirroring exactly what addExtractedLocked and Remove do to it. The
 // Locked suffix here means "caller owns the catalog exclusively": it runs
 // only during OpenFS recovery, before the DB is published to any other
 // goroutine.

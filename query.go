@@ -1,0 +1,275 @@
+package walrus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"walrus/internal/imgio"
+	"walrus/internal/match"
+	"walrus/internal/obs"
+	"walrus/internal/parallel"
+	"walrus/internal/region"
+	"walrus/internal/rstar"
+)
+
+// The query pipeline. A query runs as five stages over one immutable
+// Snapshot — extract, probe, refine, aggregate, score — composed by
+// Snapshot.Query. Each stage takes only the snapshot and the previous
+// stage's output, so the whole pipeline is lock-free: the catalog slices
+// and the pinned index view cannot change underneath it, and the
+// per-stage fan-out over the worker pool needs no synchronization beyond
+// slot-indexed writes.
+
+// signatureRect builds the index key for a region: its centroid point,
+// or its signature bounding box when useBBox is set.
+func signatureRect(useBBox bool, r region.Region) rstar.Rect {
+	if useBBox {
+		rect, err := rstar.NewRect(r.Min, r.Max)
+		if err == nil {
+			return rect
+		}
+	}
+	return rstar.Point(r.Signature)
+}
+
+// probeHit is one index hit: a matching (query region, target region)
+// pair and the image the target region belongs to.
+type probeHit struct {
+	image int
+	pair  match.Pair
+}
+
+// extractStage decomposes the query image into regions using the
+// snapshot's extractor, so extraction and index probes are bound to the
+// same version of the configuration.
+func (s *Snapshot) extractStage(im *imgio.Image) ([]region.Region, error) {
+	qRegions, err := s.core.ext.Extract(im)
+	if err != nil {
+		return nil, fmt.Errorf("walrus: extracting query regions: %w", err)
+	}
+	return qRegions, nil
+}
+
+// probeStage probes the index with every query region's epsilon
+// envelope. The probes only read the pinned view and the snapshot
+// catalog, so they fan across the worker pool; each writes its hits into
+// its own slot and the slots are merged in query-region order by the
+// aggregate stage, which keeps pairsByImage — and therefore scores,
+// stats and rankings — identical to the serial query.
+func (s *Snapshot) probeStage(qRegions []region.Region, p QueryParams, workers int) ([][]probeHit, error) {
+	perRegion := make([][]probeHit, len(qRegions))
+	err := parallel.ForErr(len(qRegions), workers, func(qi int) error {
+		qr := qRegions[qi]
+		probe := signatureRect(s.core.opts.UseBBox, qr).Expand(p.Epsilon)
+		entries, err := s.view.SearchAll(probe)
+		if err != nil {
+			return err
+		}
+		hits := make([]probeHit, 0, len(entries))
+		for _, e := range entries {
+			// Validate the hit against the snapshot catalog. The pinned
+			// R*-tree view never yields out-of-version entries, but the
+			// GiST view probes the live tree: skip refs the snapshot does
+			// not know (inserted later) or has tombstoned (removed later).
+			if e.Data < 0 || int(e.Data) >= len(s.core.refs) {
+				continue
+			}
+			ref := s.core.refs[e.Data]
+			if ref.Local < 0 {
+				continue
+			}
+			target := s.core.images[ref.Image].Regions[ref.Local]
+			// Centroid signatures use euclidean distance (the paper's
+			// metric); the box probe over-approximates the euclidean ball,
+			// so filter. Bounding-box signatures match by box overlap,
+			// which the probe tests exactly.
+			if !s.core.opts.UseBBox && euclid(qr.Signature, target.Signature) > p.Epsilon {
+				continue
+			}
+			hits = append(hits, probeHit{image: ref.Image, pair: match.Pair{Q: qi, T: ref.Local}})
+		}
+		perRegion[qi] = hits
+		return nil
+	})
+	return perRegion, err
+}
+
+// refineStage is the refined matching phase of Section 5.5: candidate
+// pairs are re-verified against the finer signatures when both sides
+// carry one, filtering each region's hit list in place.
+func (s *Snapshot) refineStage(qRegions []region.Region, perRegion [][]probeHit, p QueryParams, workers int) {
+	if !p.Refine {
+		return
+	}
+	parallel.For(len(perRegion), workers, func(qi int) {
+		qr := qRegions[qi]
+		if qr.Fine == nil {
+			return
+		}
+		bound := p.RefineEpsilon
+		if bound == 0 {
+			// Scale epsilon by sqrt(fineDim/coarseDim), keeping the
+			// per-dimension tolerance of the coarse check.
+			bound = p.Epsilon * math.Sqrt(float64(len(qr.Fine))/float64(len(qr.Signature)))
+		}
+		kept := perRegion[qi][:0]
+		for _, h := range perRegion[qi] {
+			target := s.core.images[h.image].Regions[h.pair.T]
+			if target.Fine != nil && euclid(qr.Fine, target.Fine) > bound {
+				continue
+			}
+			kept = append(kept, h)
+		}
+		perRegion[qi] = kept
+	})
+}
+
+// aggregateStage merges the per-region hit lists in query-region order
+// into the per-image pair sets the scorer consumes, counting the total
+// regions retrieved.
+func aggregateStage(perRegion [][]probeHit) (map[int][]match.Pair, int) {
+	pairsByImage := make(map[int][]match.Pair)
+	retrieved := 0
+	for _, hits := range perRegion {
+		for _, h := range hits {
+			pairsByImage[h.image] = append(pairsByImage[h.image], h.pair)
+		}
+		retrieved += len(hits)
+	}
+	return pairsByImage, retrieved
+}
+
+// scoreStage scores every candidate image, fanning the (independent,
+// read-only) match computations across the worker pool. Candidates are
+// scored into fixed slots ordered by image index, so the result set is
+// schedule-independent. It returns matches with similarity >= p.Tau
+// sorted by decreasing similarity, capped at p.Limit.
+func (s *Snapshot) scoreStage(qRegions []region.Region, qArea int, pairsByImage map[int][]match.Pair, p QueryParams, workers int) ([]Match, error) {
+	candidates := make([]int, 0, len(pairsByImage))
+	for imgIdx := range pairsByImage {
+		candidates = append(candidates, imgIdx)
+	}
+	sort.Ints(candidates)
+	scoreOpts := match.Options{Algorithm: p.Matcher, Denominator: p.Denominator}
+	scored := make([]match.Result, len(candidates))
+	err := parallel.ForErr(len(candidates), workers, func(i int) error {
+		imgIdx := candidates[i]
+		rec := s.core.images[imgIdx]
+		res, err := match.Score(qRegions, rec.Regions, pairsByImage[imgIdx], qArea, rec.W*rec.H, scoreOpts)
+		if err != nil {
+			return err
+		}
+		scored[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	matches := make([]Match, 0, len(candidates))
+	for i, imgIdx := range candidates {
+		if scored[i].Similarity < p.Tau {
+			continue
+		}
+		rec := s.core.images[imgIdx]
+		matches = append(matches, Match{
+			ID:              rec.ID,
+			Similarity:      scored[i].Similarity,
+			Pairs:           scored[i].Pairs,
+			MatchingRegions: len(pairsByImage[imgIdx]),
+		})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Similarity != matches[j].Similarity {
+			return matches[i].Similarity > matches[j].Similarity
+		}
+		return matches[i].ID < matches[j].ID
+	})
+	if p.Limit > 0 && len(matches) > p.Limit {
+		matches = matches[:p.Limit]
+	}
+	return matches, nil
+}
+
+// Query runs the staged query pipeline against the snapshot: the same
+// semantics as DB.Query, but over this fixed version, so a caller can
+// issue several queries against one consistent state while writers
+// commit concurrently.
+func (s *Snapshot) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
+	start := statsClock()
+	if p.Epsilon < 0 {
+		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
+	}
+	qRegions, err := s.extractStage(im)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: statsSince(start)}
+	probeStart := statsClock()
+	workers := parallel.Workers(p.Parallelism)
+
+	perRegion, err := s.probeStage(qRegions, p, workers)
+	if err != nil {
+		return nil, stats, err
+	}
+	s.refineStage(qRegions, perRegion, p, workers)
+	pairsByImage, retrieved := aggregateStage(perRegion)
+	stats.RegionsRetrieved = retrieved
+	stats.CandidateImages = len(pairsByImage)
+	stats.ProbeTime = statsSince(probeStart)
+	scoreStart := statsClock()
+
+	matches, err := s.scoreStage(qRegions, im.W*im.H, pairsByImage, p, workers)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.ScoreTime = statsSince(scoreStart)
+	stats.Elapsed = statsSince(start)
+	s.observeQuery(start, probeStart, scoreStart, stats)
+	return matches, stats, nil
+}
+
+// QueryScene is DB.QueryScene over this snapshot.
+func (s *Snapshot) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
+	minW := s.core.opts.Region.MinWindow
+	if w < minW || h < minW {
+		return nil, QueryStats{}, fmt.Errorf("walrus: scene %dx%d smaller than the minimum window %d", w, h, minW)
+	}
+	crop, err := imgio.Crop(im, x, y, w, h)
+	if err != nil {
+		return nil, QueryStats{}, fmt.Errorf("walrus: cropping scene: %w", err)
+	}
+	// Score by coverage of the scene alone: a target that contains the
+	// whole scene should score near 1 however large the target is.
+	p.Denominator = match.QueryOnly
+	return s.Query(crop, p)
+}
+
+// observeQuery publishes one successful query into the registry: the
+// same quantities Query returns in QueryStats, re-emitted as counters
+// and phase histograms, plus a query span with extract/probe/score
+// children. The spans are recorded retroactively from the timings
+// QueryStats already measured, so observability adds no clock reads to
+// the query path.
+func (s *Snapshot) observeQuery(start, probeStart, scoreStart time.Time, stats QueryStats) {
+	m := s.om.Load()
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	m.queryRegions.Add(uint64(stats.QueryRegions))
+	m.regionsRetrieved.Add(uint64(stats.RegionsRetrieved))
+	m.candidates.Add(uint64(stats.CandidateImages))
+	m.querySeconds.Observe(stats.Elapsed.Seconds())
+	m.extractSeconds.Observe(stats.ExtractTime.Seconds())
+	m.probeSeconds.Observe(stats.ProbeTime.Seconds())
+	m.scoreSeconds.Observe(stats.ScoreTime.Seconds())
+	root := m.reg.RecordSpan("query", 0, start, stats.Elapsed,
+		obs.Attr{Key: "query_regions", Value: int64(stats.QueryRegions)},
+		obs.Attr{Key: "regions_retrieved", Value: int64(stats.RegionsRetrieved)},
+		obs.Attr{Key: "candidates", Value: int64(stats.CandidateImages)})
+	m.reg.RecordSpan("query.extract", root, start, stats.ExtractTime)
+	m.reg.RecordSpan("query.probe", root, probeStart, stats.ProbeTime)
+	m.reg.RecordSpan("query.score", root, scoreStart, stats.ScoreTime)
+}

@@ -1,10 +1,7 @@
 package walrus
 
 import (
-	"fmt"
-
 	"walrus/internal/imgio"
-	"walrus/internal/match"
 )
 
 // QueryScene runs a similarity query using only a user-specified
@@ -19,18 +16,10 @@ import (
 // The rectangle must be at least Options.Region.MinWindow pixels in each
 // dimension.
 func (db *DB) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
-	db.mu.RLock()
-	minW := db.opts.Region.MinWindow
-	db.mu.RUnlock()
-	if w < minW || h < minW {
-		return nil, QueryStats{}, fmt.Errorf("walrus: scene %dx%d smaller than the minimum window %d", w, h, minW)
-	}
-	crop, err := imgio.Crop(im, x, y, w, h)
+	s, err := db.Snapshot()
 	if err != nil {
-		return nil, QueryStats{}, fmt.Errorf("walrus: cropping scene: %w", err)
+		return nil, QueryStats{}, err
 	}
-	// Score by coverage of the scene alone: a target that contains the
-	// whole scene should score near 1 however large the target is.
-	p.Denominator = match.QueryOnly
-	return db.Query(crop, p)
+	defer s.Release()
+	return s.QueryScene(im, x, y, w, h, p)
 }

@@ -24,7 +24,6 @@ package walrus
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -176,26 +175,51 @@ type regionRef struct {
 // DB is a WALRUS image database. All exported methods are safe for
 // concurrent use.
 //
-// Concurrency contract: readers — Query, Len, Stats, IDs, RegionsOf,
-// NumRegions — take a shared lock and run concurrently with each other
-// (a Query may additionally fan its own index probes across a worker
-// pool; see QueryParams.Parallelism). Writers — Add, AddBatch, Remove —
-// take the lock exclusively, so a write blocks queries only for the
-// index-update portion of its work; AddBatch keeps the expensive region
-// extraction outside the lock. Results never depend on scheduling: the
-// parallelism knobs change wall-clock time only.
+// Concurrency contract: the database is read through immutable
+// snapshots. Readers — Query, QueryScene, Len, Stats, IDs, RegionsOf,
+// NumRegions, or an explicit DB.Snapshot — load the current published
+// version with one atomic pointer read and (for queries) pin the
+// matching index epoch; they never acquire db.mu and are never blocked
+// by writers. Writers — Add, AddBatch, Remove, SetDurability — build
+// the next version under the exclusive lock copy-on-write and publish
+// it with an atomic swap; superseded index state is retained until the
+// last snapshot pinning it is released (epoch-based reclamation).
+// AddBatch keeps the expensive region extraction outside the lock and
+// publishes the whole batch as one version. Results never depend on
+// scheduling: the parallelism knobs change wall-clock time only.
 type DB struct {
 	mu   sync.RWMutex
 	opts Options           // guarded by mu (SetDurability rewrites the policy at runtime)
 	ext  *region.Extractor // immutable after prepare
-	tree spatialIndex      // guarded by mu
+	// tree is set at construction and the pointer never changes after the
+	// DB is published; its contents are mutated only under mu, and
+	// snapshot reads go through epoch-pinned views, not the live root.
+	tree spatialIndex
+	// defaultWorkers resolves AddBatch-style workers arguments of 0; it
+	// is immutable after prepare.
+	defaultWorkers int
 
 	images []imageRecord  // guarded by mu
 	byID   map[string]int // guarded by mu
 	refs   []regionRef    // guarded by mu
+	// liveRegions counts refs whose Local >= 0 (guarded by mu); kept
+	// incrementally so publishing a version is O(1) in catalog size.
+	liveRegions int
+	// version is the last published catalog version (guarded by mu). For
+	// the R*-tree backend it tracks the tree's publish epoch exactly.
+	version uint64
+	// The shared flags mark catalog containers whose backing storage is
+	// reachable from a published snapshot (guarded by mu): set on every
+	// publish, cleared when a writer clones before an in-place mutation.
+	// Appends past the published length are safe without cloning.
+	imagesShared, refsShared, byIDShared bool
 	// persist is set before the DB is published and nilled only by Close;
 	// its own state is mutated exclusively under mu.
 	persist *persistState // nil for in-memory databases
+
+	// cur is the currently published catalog version; readers load it
+	// lock-free. Never nil once a constructor returns.
+	cur atomic.Pointer[snapCore]
 
 	// om points at the pre-resolved observability handles installed by
 	// SetMetrics; nil (the default) means observability is off and the
@@ -219,7 +243,7 @@ func New(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree, err := rstar.New(ms)
+		tree, err := rstar.New(rstar.NewVersioned(ms))
 		if err != nil {
 			return nil, err
 		}
@@ -233,6 +257,7 @@ func New(opts Options) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("walrus: unknown index backend %v", opts.Index)
 	}
+	db.publishLocked()
 	return db, nil
 }
 
@@ -246,7 +271,7 @@ func prepare(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{opts: opts, ext: ext, byID: make(map[string]int)}, nil
+	return &DB{opts: opts, ext: ext, byID: make(map[string]int), defaultWorkers: opts.Parallelism}, nil
 }
 
 // ingestWorkers resolves a caller-supplied worker count against the
@@ -254,194 +279,59 @@ func prepare(opts Options) (*DB, error) {
 // Options.Parallelism applies (itself defaulting to GOMAXPROCS).
 func (db *DB) ingestWorkers(workers int) int {
 	if workers <= 0 {
-		db.mu.RLock()
-		workers = db.opts.Parallelism
-		db.mu.RUnlock()
+		workers = db.defaultWorkers
 	}
 	return parallel.Workers(workers)
 }
 
 // Options returns the database configuration.
 func (db *DB) Options() Options {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.opts
+	return db.cur.Load().opts
+}
+
+// Version returns the current published catalog version. Versions start
+// at 1 (a freshly constructed database) and advance by one per committed
+// write operation (an AddBatch counts as one).
+func (db *DB) Version() uint64 {
+	return db.cur.Load().version
 }
 
 // Len returns the number of indexed images.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.byID)
+	return len(db.cur.Load().byID)
 }
 
 // NumRegions returns the number of live indexed regions.
 func (db *DB) NumRegions() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	n := 0
-	for _, ref := range db.refs {
-		if ref.Local >= 0 {
-			n++
-		}
-	}
-	return n
+	return db.cur.Load().liveRegions
 }
 
-// Add extracts regions from an RGB image and indexes them under id.
-// Adding an id twice is an error; use Remove first to replace an image.
+// Add extracts regions from an RGB image and indexes them under id,
+// publishing the image as the next catalog version. Adding an id twice
+// is an error; use Remove first to replace an image.
 func (db *DB) Add(id string, im *imgio.Image) error {
 	regions, err := db.ext.Extract(im)
 	if err != nil {
 		return fmt.Errorf("walrus: extracting regions of %q: %w", id, err)
 	}
-	return db.addExtracted(id, im, regions)
-}
-
-// signatureRectLocked builds the index key for a region: its centroid
-// point, or its signature bounding box when UseBBox is set. Caller holds
-// db.mu (or owns a not-yet-published DB, as in BuildFrom/CreateFrom).
-func (db *DB) signatureRectLocked(r region.Region) rstar.Rect {
-	if db.opts.UseBBox {
-		rect, err := rstar.NewRect(r.Min, r.Max)
-		if err == nil {
-			return rect
-		}
-	}
-	return rstar.Point(r.Signature)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer db.publishLocked()
+	return db.addExtractedLocked(id, im, regions)
 }
 
 // Query decomposes an RGB image into regions, probes the index with each
 // region's epsilon envelope, scores every candidate image, and returns
-// matches with similarity >= p.Tau sorted by decreasing similarity.
+// matches with similarity >= p.Tau sorted by decreasing similarity. The
+// whole query — extraction included — runs against one snapshot of the
+// database, unaffected by concurrent writers.
 func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
-	start := statsClock()
-	if p.Epsilon < 0 {
-		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
-	}
-	qRegions, err := db.ext.Extract(im)
+	s, err := db.Snapshot()
 	if err != nil {
-		return nil, QueryStats{}, fmt.Errorf("walrus: extracting query regions: %w", err)
+		return nil, QueryStats{}, err
 	}
-
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
-	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: statsSince(start)}
-	probeStart := statsClock()
-	workers := parallel.Workers(p.Parallelism)
-
-	// Probe the index with every query region's epsilon envelope. The
-	// probes only read the tree (the shared lock excludes writers), so they
-	// fan across the worker pool; each writes its hits into its own slot
-	// and the slots are merged in query-region order below, which keeps
-	// pairsByImage — and therefore scores, stats and rankings — identical
-	// to the serial query.
-	type probeHit struct {
-		image int
-		pair  match.Pair
-	}
-	perRegion := make([][]probeHit, len(qRegions))
-	err = parallel.ForErr(len(qRegions), workers, func(qi int) error {
-		qr := qRegions[qi]
-		probe := db.signatureRectLocked(qr).Expand(p.Epsilon)
-		entries, err := db.tree.SearchAll(probe)
-		if err != nil {
-			return err
-		}
-		hits := make([]probeHit, 0, len(entries))
-		for _, e := range entries {
-			ref := db.refs[e.Data]
-			target := db.images[ref.Image].Regions[ref.Local]
-			// Centroid signatures use euclidean distance (the paper's
-			// metric); the box probe over-approximates the euclidean ball,
-			// so filter. Bounding-box signatures match by box overlap,
-			// which the probe tests exactly.
-			if !db.opts.UseBBox && euclid(qr.Signature, target.Signature) > p.Epsilon {
-				continue
-			}
-			// Refined matching phase (Section 5.5): re-verify the pair with
-			// the finer signatures when available.
-			if p.Refine && qr.Fine != nil && target.Fine != nil {
-				bound := p.RefineEpsilon
-				if bound == 0 {
-					bound = p.Epsilon * math.Sqrt(float64(len(qr.Fine))/float64(len(qr.Signature)))
-				}
-				if euclid(qr.Fine, target.Fine) > bound {
-					continue
-				}
-			}
-			hits = append(hits, probeHit{image: ref.Image, pair: match.Pair{Q: qi, T: ref.Local}})
-		}
-		perRegion[qi] = hits
-		return nil
-	})
-	if err != nil {
-		return nil, stats, err
-	}
-	// pairsByImage[img] holds the matching (query region, target region)
-	// pairs discovered by the index probes.
-	pairsByImage := make(map[int][]match.Pair)
-	for _, hits := range perRegion {
-		for _, h := range hits {
-			pairsByImage[h.image] = append(pairsByImage[h.image], h.pair)
-		}
-		stats.RegionsRetrieved += len(hits)
-	}
-	stats.CandidateImages = len(pairsByImage)
-	stats.ProbeTime = statsSince(probeStart)
-	scoreStart := statsClock()
-
-	// Score every candidate image, fanning the (independent, read-only)
-	// match computations across the same pool. Candidates are scored into
-	// fixed slots ordered by image index, so the result set is again
-	// schedule-independent.
-	candidates := make([]int, 0, len(pairsByImage))
-	for imgIdx := range pairsByImage {
-		candidates = append(candidates, imgIdx)
-	}
-	sort.Ints(candidates)
-	scoreOpts := match.Options{Algorithm: p.Matcher, Denominator: p.Denominator}
-	scored := make([]match.Result, len(candidates))
-	err = parallel.ForErr(len(candidates), workers, func(i int) error {
-		imgIdx := candidates[i]
-		rec := db.images[imgIdx]
-		res, err := match.Score(qRegions, rec.Regions, pairsByImage[imgIdx], im.W*im.H, rec.W*rec.H, scoreOpts)
-		if err != nil {
-			return err
-		}
-		scored[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, stats, err
-	}
-	matches := make([]Match, 0, len(candidates))
-	for i, imgIdx := range candidates {
-		if scored[i].Similarity < p.Tau {
-			continue
-		}
-		rec := db.images[imgIdx]
-		matches = append(matches, Match{
-			ID:              rec.ID,
-			Similarity:      scored[i].Similarity,
-			Pairs:           scored[i].Pairs,
-			MatchingRegions: len(pairsByImage[imgIdx]),
-		})
-	}
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].Similarity != matches[j].Similarity {
-			return matches[i].Similarity > matches[j].Similarity
-		}
-		return matches[i].ID < matches[j].ID
-	})
-	if p.Limit > 0 && len(matches) > p.Limit {
-		matches = matches[:p.Limit]
-	}
-	stats.ScoreTime = statsSince(scoreStart)
-	stats.Elapsed = statsSince(start)
-	db.observeQuery(start, probeStart, scoreStart, stats)
-	return matches, stats, nil
+	defer s.Release()
+	return s.Query(im, p)
 }
 
 // Remove deletes an image and its regions from the database. It reports
@@ -454,13 +344,18 @@ func (db *DB) Remove(id string) (bool, error) {
 	if !ok {
 		return false, nil
 	}
+	defer db.publishLocked()
+	// Tombstoning mutates published catalog entries in place, so work on
+	// private copies of the containers a snapshot may share.
+	refs := db.mutableRefsLocked()
+	images := db.mutableImagesLocked()
 	tombstoned := 0
-	for payload, ref := range db.refs {
+	for payload, ref := range refs {
 		if ref.Image != imgIdx || ref.Local < 0 {
 			continue
 		}
-		r := db.images[imgIdx].Regions[ref.Local]
-		removed, err := db.tree.Delete(db.signatureRectLocked(r), int64(payload))
+		r := images[imgIdx].Regions[ref.Local]
+		removed, err := db.tree.Delete(signatureRect(db.opts.UseBBox, r), int64(payload))
 		if err != nil {
 			return false, err
 		}
@@ -468,16 +363,17 @@ func (db *DB) Remove(id string) (bool, error) {
 			return false, fmt.Errorf("walrus: region of %q missing from index", id)
 		}
 		if db.persist != nil {
-			if err := db.persist.heap.Delete(store.UnpackRID(db.refs[payload].RID)); err != nil {
+			if err := db.persist.heap.Delete(store.UnpackRID(refs[payload].RID)); err != nil {
 				return false, err
 			}
 		}
-		db.refs[payload].Local = -1 // tombstone
+		refs[payload].Local = -1 // tombstone
 		tombstoned++
 	}
-	delete(db.byID, id)
-	db.images[imgIdx].Regions = nil
-	db.images[imgIdx].ID = ""
+	delete(db.mutableByIDLocked(), id)
+	images[imgIdx].Regions = nil
+	images[imgIdx].ID = ""
+	db.liveRegions -= tombstoned
 	if db.persist != nil {
 		if err := db.commitLocked(&walDelta{Op: deltaRemove, ID: id}); err != nil {
 			return true, err
@@ -493,10 +389,9 @@ func (db *DB) Remove(id string) (bool, error) {
 
 // IDs returns the ids of all indexed images in insertion order.
 func (db *DB) IDs() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.byID))
-	for _, rec := range db.images {
+	core := db.cur.Load()
+	out := make([]string, 0, len(core.byID))
+	for _, rec := range core.images {
 		if rec.ID != "" {
 			out = append(out, rec.ID)
 		}
@@ -506,13 +401,12 @@ func (db *DB) IDs() []string {
 
 // RegionsOf returns the regions extracted for an indexed image.
 func (db *DB) RegionsOf(id string) ([]region.Region, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	idx, ok := db.byID[id]
+	core := db.cur.Load()
+	idx, ok := core.byID[id]
 	if !ok {
 		return nil, false
 	}
-	return db.images[idx].Regions, true
+	return core.images[idx].Regions, true
 }
 
 func euclid(a, b []float64) float64 {
