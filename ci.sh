@@ -14,6 +14,10 @@
 #      concurrent publication under the race detector and fails if the
 #      active-snapshots gauge does not drain to zero (pin leak) or a
 #      pinned version tears
+#   3d. shard tier: runs the shard-count determinism matrix (every shard
+#      count must reproduce the shards=1 oracle byte-for-byte), the
+#      per-shard crash matrix and the cross-shard fan-out oracle under
+#      the race detector
 #   4. full test suite
 #   5. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
 #      target (PPM decoder, WAL replay) for a few seconds of random input
@@ -50,6 +54,9 @@ go test -count=1 -run 'TestPrometheusOutputValidates|TestValidatePrometheusRejec
 
 echo "== tier 1: snapshot (acquire/release vs publish, leak check) =="
 go test -race -count=1 -run 'TestSnapshot' .
+
+echo "== tier 1: shard (determinism matrix, per-shard crash recovery, fan-out oracle) =="
+go test -race -count=1 -run 'TestShard' .
 
 echo "== tier 1: full tests =="
 go test ./...

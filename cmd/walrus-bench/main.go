@@ -7,7 +7,10 @@
 //	walrus-bench -exp fig6a      # one experiment
 //	walrus-bench -per-category 100 -exp table1
 //
-// Experiments: fig6a, fig6b, fig7, fig8, table1, regions, matchers, all.
+// Experiments: fig6a, fig6b, fig7, fig8, table1, regions, matchers,
+// robust, precision, indexing, epsilon, parallel, durability,
+// obs-overhead, snapshot, shard, all. The shard experiment needs no
+// dataset: it synthesizes its own images and writes BENCH_shard.json.
 package main
 
 import (
@@ -28,17 +31,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("walrus-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, obs-overhead, snapshot, all")
-		imgSize = flag.Int("image-size", 256, "image side for Figure 6 (paper: 256)")
-		maxWin  = flag.Int("max-window", 128, "largest window for Figure 6(a) (paper: 128)")
-		maxSig  = flag.Int("max-signature", 32, "largest signature for Figure 6(b) (paper: 32)")
-		perCat  = flag.Int("per-category", 40, "dataset images per category for retrieval experiments")
-		seed    = flag.Int64("seed", 1999, "dataset seed")
-		topK    = flag.Int("k", 14, "result count for Figures 7/8 (paper: 14)")
-		regimgs = flag.Int("region-images", 6, "images sampled for the §6.6 region-count sweep")
-		par     = flag.Int("parallelism", 0, "worker pool size for the parallel experiment (0 = GOMAXPROCS)")
-		obsOut  = flag.String("obs-json", "BENCH_obs.json", "output file for the obs-overhead measurement")
-		snapOut = flag.String("snapshot-json", "BENCH_snapshot.json", "output file for the snapshot churn measurement")
+		exp         = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, obs-overhead, snapshot, shard, all")
+		imgSize     = flag.Int("image-size", 256, "image side for Figure 6 (paper: 256)")
+		maxWin      = flag.Int("max-window", 128, "largest window for Figure 6(a) (paper: 128)")
+		maxSig      = flag.Int("max-signature", 32, "largest signature for Figure 6(b) (paper: 32)")
+		perCat      = flag.Int("per-category", 40, "dataset images per category for retrieval experiments")
+		seed        = flag.Int64("seed", 1999, "dataset seed")
+		topK        = flag.Int("k", 14, "result count for Figures 7/8 (paper: 14)")
+		regimgs     = flag.Int("region-images", 6, "images sampled for the §6.6 region-count sweep")
+		par         = flag.Int("parallelism", 0, "worker pool size for the parallel experiment (0 = GOMAXPROCS)")
+		obsOut      = flag.String("obs-json", "BENCH_obs.json", "output file for the obs-overhead measurement")
+		snapOut     = flag.String("snapshot-json", "BENCH_snapshot.json", "output file for the snapshot churn measurement")
+		shardOut    = flag.String("shard-json", "BENCH_shard.json", "output file for the shard write-scaling measurement")
+		shardBase   = flag.Int("shard-base", 100000, "preloaded signatures for the shard experiment")
+		shardWrites = flag.Int("shard-writes", 300, "timed marginal writes per shard count for the shard experiment")
 	)
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -70,6 +76,26 @@ func main() {
 		}
 		experiments.PrintFig6(out, "", "signature", rows)
 		fmt.Fprintln(out)
+	}
+
+	if want("shard") {
+		fmt.Fprintln(out, "== Sharded writes: marginal write throughput vs shard count ==")
+		res, err := experiments.ShardScaling(*shardBase, *shardWrites, []int{1, 2, 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintShardScaling(out, res)
+		if !res.Identical {
+			log.Fatal("sharded query results diverge across shard counts")
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*shardOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n\n", *shardOut)
 	}
 
 	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel") || want("durability") || want("obs-overhead") || want("snapshot")
@@ -263,7 +289,7 @@ func main() {
 }
 
 func isKnown(e string) bool {
-	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability obs-overhead snapshot all") {
+	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability obs-overhead snapshot shard all") {
 		if e == k {
 			return true
 		}

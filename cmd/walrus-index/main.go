@@ -5,6 +5,7 @@
 // Usage:
 //
 //	walrus-index -data data/ -index idx/ -window 64 -cluster-eps 0.05
+//	walrus-index -data data/ -index idx/ -shards 4
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"walrus"
 	"walrus/internal/colorspace"
 	"walrus/internal/dataset"
+	"walrus/internal/obs"
 	"walrus/internal/obscli"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		refine     = flag.Int("refine-iterations", 0, "centroid refinement passes after clustering")
 		fineSig    = flag.Int("fine-signature", 0, "store finer NxN signatures for the refined matching phase (0 = off)")
 		durability = flag.String("durability", "group", "WAL durability policy: always, group or none")
+		shards     = flag.Int("shards", 1, "partition the index into N hash shards for parallel writes")
 	)
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -74,7 +77,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := walrus.Create(*index, opts)
+	var db ingestDB
+	if *shards > 1 {
+		opts.Shards = *shards
+		db, err = walrus.CreateSharded(*index, opts)
+	} else {
+		db, err = walrus.Create(*index, opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,10 +109,21 @@ func main() {
 		len(ds.Items), dbRegions(*index), *index, time.Since(start).Round(time.Millisecond))
 }
 
+// ingestDB is the slice of the database API the indexer drives; both a
+// plain DB and a Sharded fleet satisfy it.
+type ingestDB interface {
+	AddBatch(items []walrus.BatchItem, workers int) error
+	SetMetrics(reg *obs.Registry)
+	Close() error
+}
+
 // dbRegions reopens the index briefly to report the region count. A
 // dirty reopen (crash during a previous run) also reports what recovery
-// replayed.
+// replayed. Sharded indexes are auto-detected by their manifest.
 func dbRegions(dir string) int {
+	if walrus.IsSharded(dir) {
+		return shardedRegions(dir)
+	}
 	db, err := walrus.Open(dir)
 	if err != nil {
 		return 0
@@ -121,4 +141,29 @@ func dbRegions(dir string) int {
 			stats.RecordsScanned, stats.PagesApplied, stats.AppRecords, stats.TornBytes)
 	}
 	return db.NumRegions()
+}
+
+// shardedRegions is dbRegions for a sharded index: each shard replays
+// its own WAL on reopen, so recovery is reported per shard.
+func shardedRegions(dir string) int {
+	s, err := walrus.OpenSharded(dir)
+	if err != nil {
+		return 0
+	}
+	defer func() {
+		if cerr := s.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "  closing reopened index: %v\n", cerr)
+		}
+	}()
+	if reports, ok := s.Recovery(); ok {
+		for i, stats := range reports {
+			if !stats.Replayed {
+				continue
+			}
+			fmt.Fprintf(os.Stderr,
+				"  recovered shard %d: %d records scanned, %d pages reapplied, %d catalog deltas, %d torn tail bytes discarded\n",
+				i, stats.RecordsScanned, stats.PagesApplied, stats.AppRecords, stats.TornBytes)
+		}
+	}
+	return s.NumRegions()
 }

@@ -23,6 +23,7 @@ import (
 	"walrus"
 	"walrus/internal/imgio"
 	"walrus/internal/match"
+	"walrus/internal/obs"
 	"walrus/internal/obscli"
 )
 
@@ -54,16 +55,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := walrus.Open(*index)
+	db, err := openIndex(*index, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
-	db.SetMetrics(reg)
-	if stats, ok := db.Recovery(); ok && stats.Replayed {
-		fmt.Fprintf(os.Stderr, "recovered index: %d records replayed, %d torn tail bytes discarded\n",
-			stats.RecordsScanned, stats.TornBytes)
-	}
 	if *durable != "" {
 		pol, err := walrus.ParseDurability(*durable)
 		if err != nil {
@@ -109,6 +105,47 @@ func main() {
 	for i, m := range matches {
 		fmt.Printf("%-5d %-24s %12.4f %10d\n", i+1, m.ID, m.Similarity, m.MatchingRegions)
 	}
+}
+
+// queryDB is the slice of the database API the query tool drives; both a
+// plain DB and a Sharded fleet satisfy it.
+type queryDB interface {
+	Query(im *imgio.Image, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
+	QueryScene(im *imgio.Image, x, y, w, h int, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
+	SetMetrics(reg *obs.Registry)
+	SetDurability(p walrus.DurabilityPolicy)
+	Close() error
+}
+
+// openIndex opens a plain or sharded index directory, auto-detected by
+// the shard manifest, and reports any WAL replay the reopen performed.
+func openIndex(dir string, reg *obs.Registry) (queryDB, error) {
+	if walrus.IsSharded(dir) {
+		s, err := walrus.OpenSharded(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.SetMetrics(reg)
+		if reports, ok := s.Recovery(); ok {
+			for i, stats := range reports {
+				if stats.Replayed {
+					fmt.Fprintf(os.Stderr, "recovered shard %d: %d records replayed, %d torn tail bytes discarded\n",
+						i, stats.RecordsScanned, stats.TornBytes)
+				}
+			}
+		}
+		return s, nil
+	}
+	db, err := walrus.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	db.SetMetrics(reg)
+	if stats, ok := db.Recovery(); ok && stats.Replayed {
+		fmt.Fprintf(os.Stderr, "recovered index: %d records replayed, %d torn tail bytes discarded\n",
+			stats.RecordsScanned, stats.TornBytes)
+	}
+	return db, nil
 }
 
 func loadImage(path string) (*imgio.Image, error) {

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"walrus"
+	"walrus/internal/imgio"
+)
+
+// ShardScalingRow is one shard count's marginal write measurement.
+type ShardScalingRow struct {
+	Shards       int     `json:"shards"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	PerWriteNs   float64 `json:"ns_per_write"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	Speedup      float64 `json:"speedup_vs_one_shard"`
+}
+
+// ShardScalingResult measures what sharding buys the write path once the
+// catalog is large: every committed write re-publishes its shard's
+// copy-on-write catalog, an O(shard catalog) clone, so the marginal cost
+// of one Add at a fixed database size divides with the shard count. The
+// rows report marginal write throughput against a preloaded base at each
+// shard count; Identical asserts the configurations stay logically
+// equivalent — same counts and byte-identical query rankings — so the
+// speedup is not bought with divergent results.
+type ShardScalingResult struct {
+	BaseImages int               `json:"base_images"`
+	Writes     int               `json:"marginal_writes"`
+	Distinct   int               `json:"distinct_signatures"`
+	Rows       []ShardScalingRow `json:"rows"`
+	Identical  bool              `json:"query_results_identical"`
+}
+
+// shardScalingOptions configures single-window extraction: 32×32 images
+// under a 32×32 fixed window yield exactly one region per image, which
+// keeps a 100k-signature preload affordable while the catalog — the thing
+// sharding actually divides — is full-sized.
+func shardScalingOptions() walrus.Options {
+	o := walrus.DefaultOptions()
+	o.Region.MaxWindow = 32
+	o.Region.MinWindow = 32
+	o.Region.Step = 32
+	o.Parallelism = 1 // serial: measure the per-shard commit, not the pool
+	return o
+}
+
+// shardScalingImages synthesizes k distinct 32×32 images. Pixel content is
+// a per-image base color plus a fixed mild texture, so signatures differ
+// across the pool; callers cycle the pool to reach any database size
+// without holding that many pixel buffers.
+func shardScalingImages(k int) []*imgio.Image {
+	out := make([]*imgio.Image, k)
+	for i := range out {
+		im := imgio.New(32, 32, 3)
+		seed := uint32(i+1) * 2654435761
+		for c := 0; c < 3; c++ {
+			base := 0.75 * float64((seed>>(8*uint(c)))&0xff) / 255
+			plane := im.Plane(c)
+			for p := range plane {
+				plane[p] = base + 0.2*float64(p%7)/6
+			}
+		}
+		out[i] = im
+	}
+	return out
+}
+
+// shardScalingFingerprint renders the logical state one configuration
+// reached: image and region counts plus full query rankings with exact
+// similarities. Every shard count must produce the same string.
+func shardScalingFingerprint(s *walrus.Sharded, queries []*imgio.Image, p walrus.QueryParams) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "images=%d regions=%d\n", s.Len(), s.NumRegions())
+	for qi, q := range queries {
+		matches, qs, err := s.Query(q, p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "q%d retrieved=%d candidates=%d\n", qi, qs.RegionsRetrieved, qs.CandidateImages)
+		for _, m := range matches {
+			b.WriteString("  ")
+			b.WriteString(m.ID)
+			b.WriteString(" ")
+			b.WriteString(strconv.FormatFloat(m.Similarity, 'g', -1, 64))
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// ShardScaling preloads `base` single-region signatures per configuration
+// with the STR bulk loader, then times `writes` sequential Adds of fresh
+// ids — the marginal write cost at that database size — for each shard
+// count. Speedups are relative to the first shard count (run shards=1
+// first to make it the oracle). After the timed phase every configuration
+// holds the same image set, and the query fingerprint of each is compared
+// against the first configuration's.
+func ShardScaling(base, writes int, shardCounts []int) (ShardScalingResult, error) {
+	if base <= 0 || writes <= 0 {
+		return ShardScalingResult{}, fmt.Errorf("experiments: shard scaling needs positive base (%d) and writes (%d)", base, writes)
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	const distinct = 512
+	pool := shardScalingImages(distinct)
+	items := make([]walrus.BatchItem, base)
+	for i := range items {
+		items[i] = walrus.BatchItem{ID: fmt.Sprintf("base-%06d", i), Image: pool[i%distinct]}
+	}
+	params := walrus.DefaultQueryParams()
+	params.Parallelism = 1
+	params.Limit = 20
+	queries := []*imgio.Image{pool[7%distinct], pool[123%distinct], pool[321%distinct]}
+
+	res := ShardScalingResult{BaseImages: base, Writes: writes, Distinct: distinct, Identical: true}
+	oracle := ""
+	for _, n := range shardCounts {
+		opts := shardScalingOptions()
+		opts.Shards = n
+		s, err := walrus.BuildFromSharded(opts, items, 0)
+		if err != nil {
+			return res, err
+		}
+		start := time.Now()
+		for i := 0; i < writes; i++ {
+			if err := s.Add(fmt.Sprintf("w-%06d", i), pool[(base+i)%distinct]); err != nil {
+				return res, err
+			}
+		}
+		elapsed := time.Since(start)
+		row := ShardScalingRow{Shards: n, ElapsedNs: elapsed.Nanoseconds()}
+		row.PerWriteNs = float64(row.ElapsedNs) / float64(writes)
+		if elapsed > 0 {
+			row.WritesPerSec = float64(writes) / elapsed.Seconds()
+		}
+		res.Rows = append(res.Rows, row)
+		fp, err := shardScalingFingerprint(s, queries, params)
+		if err != nil {
+			return res, err
+		}
+		if oracle == "" {
+			oracle = fp
+		} else if fp != oracle {
+			res.Identical = false
+		}
+	}
+	if res.Rows[0].WritesPerSec > 0 {
+		for i := range res.Rows {
+			res.Rows[i].Speedup = res.Rows[i].WritesPerSec / res.Rows[0].WritesPerSec
+		}
+	}
+	return res, nil
+}
+
+// PrintShardScaling renders the write-scaling measurement.
+func PrintShardScaling(w io.Writer, r ShardScalingResult) {
+	fmt.Fprintf(w, "Marginal write throughput at %d preloaded signatures (%d timed writes per shard count)\n",
+		r.BaseImages, r.Writes)
+	fmt.Fprintf(w, "%-8s %14s %14s %10s\n", "shards", "ns/write", "writes/sec", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %14.0f %14.1f %9.2fx\n", row.Shards, row.PerWriteNs, row.WritesPerSec, row.Speedup)
+	}
+	fmt.Fprintf(w, "query results identical across shard counts: %v\n", r.Identical)
+}

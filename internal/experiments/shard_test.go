@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestShardScaling(t *testing.T) {
+	res, err := ShardScaling(1500, 40, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseImages != 1500 || res.Writes != 40 {
+		t.Fatalf("workload shape not echoed: %+v", res)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.WritesPerSec <= 0 || row.PerWriteNs <= 0 {
+			t.Fatalf("empty measurement for shards=%d: %+v", row.Shards, row)
+		}
+	}
+	if res.Rows[0].Shards != 1 || res.Rows[0].Speedup != 1 {
+		t.Fatalf("first row is not the shards=1 oracle: %+v", res.Rows[0])
+	}
+	if res.Rows[1].Speedup <= 0 {
+		t.Fatalf("speedup not computed: %+v", res.Rows[1])
+	}
+	if !res.Identical {
+		t.Fatal("query results diverged across shard counts")
+	}
+	var buf bytes.Buffer
+	PrintShardScaling(&buf, res)
+	for _, want := range []string{"writes/sec", "identical across shard counts: true"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("printout missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -14,6 +14,12 @@ import (
 // already held (an RWMutex upgrade deadlocks). Methods whose name ends in
 // "Locked" are exempt by convention — their contract is "caller holds
 // mu".
+//
+// Methods of guarded types are additionally forbidden from acquiring
+// another guarded object's mu directly (fleet code reaching into a
+// shard's db.mu, say): each mutex is private to its owner, and bypassing
+// the owner's methods silently skips whatever invariants those methods
+// maintain. Route the access through a method of the owning object.
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc:  "flag guarded-field access without the documented mutex and RLock-to-Lock upgrades",
@@ -51,7 +57,7 @@ func runLockDiscipline(pass *Pass) {
 			if !ok {
 				continue
 			}
-			checkMethodLocking(pass, fd, recvObj, gt)
+			checkMethodLocking(pass, fd, recvObj, typeName, gt, guarded)
 		}
 	}
 }
@@ -131,7 +137,7 @@ type lockEvent struct {
 // RLock-to-Lock upgrades. The simulation is linear — branches are treated
 // as straight-line code — which is deliberately conservative-enough for a
 // repo whose locking style is acquire-at-top, defer-unlock.
-func checkMethodLocking(pass *Pass, fd *ast.FuncDecl, recv types.Object, gt *guardedType) {
+func checkMethodLocking(pass *Pass, fd *ast.FuncDecl, recv types.Object, recvType string, gt *guardedType, guarded map[string]*guardedType) {
 	info := pass.Pkg.Info
 	var events []lockEvent
 	var deferDepth int
@@ -156,6 +162,11 @@ func checkMethodLocking(pass *Pass, fd *ast.FuncDecl, recv types.Object, gt *gua
 					})
 					return false
 				}
+			}
+			if owner, ownerType, method, ok := foreignMuOp(info, recv, guarded, st.Fun); ok {
+				pass.Reportf(st.Pos(), "%s.mu.%s() inside %s.%s acquires another %s's private mutex; call a %s method instead",
+					types.ExprString(owner), method, recvType, fd.Name.Name, ownerType, ownerType)
+				return false
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range st.Lhs {
@@ -223,6 +234,30 @@ func recvSelector2(info *types.Info, recv types.Object, e ast.Expr) (field, meth
 		return "", "", false
 	}
 	return inner.Sel.Name, outer.Sel.Name, true
+}
+
+// foreignMuOp matches <owner>.mu.<Lock/RLock/...> where owner is NOT the
+// receiver and owner's (pointer-unwrapped) type is a guarded type of this
+// package: a cross-object mutex acquisition. With sharding, fleet-level
+// code holds references to per-shard guarded objects; this is the shape
+// that would let it bypass a shard's own locking discipline.
+func foreignMuOp(info *types.Info, recv types.Object, guarded map[string]*guardedType, e ast.Expr) (owner ast.Expr, ownerType, method string, ok bool) {
+	outer, okSel := ast.Unparen(e).(*ast.SelectorExpr)
+	if !okSel || !mutexOpNames[outer.Sel.Name] {
+		return nil, "", "", false
+	}
+	inner, okSel := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	if !okSel || inner.Sel.Name != "mu" {
+		return nil, "", "", false
+	}
+	if id, isIdent := ast.Unparen(inner.X).(*ast.Ident); isIdent && info.Uses[id] == recv {
+		return nil, "", "", false // the receiver's own mu: handled by the lock simulation
+	}
+	named := namedOf(info.TypeOf(inner.X))
+	if named == nil || guarded[named.Obj().Name()] == nil {
+		return nil, "", "", false
+	}
+	return inner.X, named.Obj().Name(), outer.Sel.Name, true
 }
 
 // recvFieldAccess matches recv.<field> (possibly indexed or dereferenced

@@ -13,11 +13,21 @@ var snapshotSafeScope = map[string]bool{
 }
 
 // snapshotTypeNames are the named types making up a published snapshot.
-// Methods of Snapshot are checked; expressions of either type are
-// treated as immutable snapshot state.
+// Methods of the snapshotMethodTypes are checked; expressions of any of
+// these types are treated as immutable snapshot state.
 var snapshotTypeNames = map[string]bool{
-	"Snapshot": true,
-	"snapCore": true,
+	"Snapshot":        true,
+	"snapCore":        true,
+	"ShardedSnapshot": true,
+}
+
+// snapshotMethodTypes are the receiver types whose methods must honor
+// the snapshot contract. ShardedSnapshot pins one epoch-matched Snapshot
+// per shard, so the cross-shard view is held to the same rules as each
+// per-shard one.
+var snapshotMethodTypes = map[string]bool{
+	"Snapshot":        true,
+	"ShardedSnapshot": true,
 }
 
 // mutexOpNames are the sync.Mutex/RWMutex methods a snapshot method may
@@ -29,13 +39,13 @@ var mutexOpNames = map[string]bool{
 }
 
 // SnapshotSafe machine-checks the snapshot-isolation contract of the
-// root package: methods with a Snapshot receiver must not acquire (or
-// release) any mutex — in particular db.mu — and must not mutate
-// snapshot state, i.e. assign, increment or delete through any
-// expression of type Snapshot or snapCore. Published snapshots are
-// immutable and read lock-free; a method that breaks either property
-// reintroduces exactly the reader/writer races the snapshot layer
-// removed.
+// root package: methods with a Snapshot or ShardedSnapshot receiver must
+// not acquire (or release) any mutex — in particular db.mu or a shard's
+// mu — and must not mutate snapshot state, i.e. assign, increment or
+// delete through any expression of type Snapshot, snapCore or
+// ShardedSnapshot. Published snapshots are immutable and read lock-free;
+// a method that breaks either property reintroduces exactly the
+// reader/writer races the snapshot layer removed.
 var SnapshotSafe = &Analyzer{
 	Name: "snapshotsafe",
 	Doc:  "forbid mutex use and snapshot-state mutation inside Snapshot methods",
@@ -54,40 +64,40 @@ func runSnapshotSafe(pass *Pass) {
 				continue
 			}
 			_, typeName := receiverOf(pkg, fd)
-			if typeName != "Snapshot" {
+			if !snapshotMethodTypes[typeName] {
 				continue
 			}
-			checkSnapshotMethod(pass, fd)
+			checkSnapshotMethod(pass, fd, typeName)
 		}
 	}
 }
 
-func checkSnapshotMethod(pass *Pass, fd *ast.FuncDecl) {
+func checkSnapshotMethod(pass *Pass, fd *ast.FuncDecl, typeName string) {
 	pkg := pass.Pkg
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && mutexOpNames[sel.Sel.Name] && isMutexExpr(pkg.Info, sel.X) {
-				pass.Reportf(n.Pos(), "snapshot methods are lock-free by contract: %s.%s must not acquire a mutex inside Snapshot.%s",
-					types.ExprString(sel.X), sel.Sel.Name, fd.Name.Name)
+				pass.Reportf(n.Pos(), "snapshot methods are lock-free by contract: %s.%s must not acquire a mutex inside %s.%s",
+					types.ExprString(sel.X), sel.Sel.Name, typeName, fd.Name.Name)
 			}
 			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
 				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && snapshotStateExpr(pkg.Info, n.Args[0]) {
-					pass.Reportf(n.Pos(), "snapshot state is immutable: delete from %s mutates published snapshot state in Snapshot.%s",
-						types.ExprString(n.Args[0]), fd.Name.Name)
+					pass.Reportf(n.Pos(), "snapshot state is immutable: delete from %s mutates published snapshot state in %s.%s",
+						types.ExprString(n.Args[0]), typeName, fd.Name.Name)
 				}
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
 				if snapshotStateExpr(pkg.Info, lhs) {
-					pass.Reportf(lhs.Pos(), "snapshot state is immutable: %s is written inside Snapshot.%s",
-						types.ExprString(lhs), fd.Name.Name)
+					pass.Reportf(lhs.Pos(), "snapshot state is immutable: %s is written inside %s.%s",
+						types.ExprString(lhs), typeName, fd.Name.Name)
 				}
 			}
 		case *ast.IncDecStmt:
 			if snapshotStateExpr(pkg.Info, n.X) {
-				pass.Reportf(n.Pos(), "snapshot state is immutable: %s is written inside Snapshot.%s",
-					types.ExprString(n.X), fd.Name.Name)
+				pass.Reportf(n.Pos(), "snapshot state is immutable: %s is written inside %s.%s",
+					types.ExprString(n.X), typeName, fd.Name.Name)
 			}
 		}
 		return true

@@ -58,3 +58,38 @@ func (c *counter) Unguarded() string {
 func (c *counter) bumpLocked() {
 	c.n++
 }
+
+// fleet mirrors the root package's Sharded type: a guarded object
+// holding references to other guarded objects (its shards).
+type fleet struct {
+	mu     sync.Mutex
+	policy int // guarded by mu
+	parts  []*counter
+}
+
+// Good: the fleet locks its own mu and reaches shards through methods.
+func (f *fleet) GoodFanout(v int) {
+	f.mu.Lock()
+	f.policy = v
+	f.mu.Unlock()
+	for _, c := range f.parts {
+		c.GoodWrite(v)
+	}
+}
+
+// BadCross reaches into a shard's private mutex instead of calling one
+// of its methods.
+func (f *fleet) BadCross(v int) {
+	f.parts[0].mu.Lock()   // want `f.parts\[0\].mu.Lock\(\) inside fleet.BadCross acquires another counter's private mutex; call a counter method instead`
+	f.parts[0].mu.Unlock() // want `f.parts\[0\].mu.Unlock\(\) inside fleet.BadCross acquires another counter's private mutex; call a counter method instead`
+}
+
+// BadCrossAlias does the same through a local alias; the check is
+// type-based, so the rename does not evade it.
+func (f *fleet) BadCrossAlias() int {
+	c := f.parts[0]
+	c.mu.RLock() // want `c.mu.RLock\(\) inside fleet.BadCrossAlias acquires another counter's private mutex; call a counter method instead`
+	n := c.n
+	c.mu.RUnlock() // want `c.mu.RUnlock\(\) inside fleet.BadCrossAlias acquires another counter's private mutex; call a counter method instead`
+	return n
+}

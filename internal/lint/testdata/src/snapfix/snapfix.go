@@ -76,3 +76,36 @@ func (db *DB) mutate() {
 	db.core.version++
 	db.mu.Unlock()
 }
+
+// ShardedSnapshot mirrors the root package's cross-shard view: one
+// pinned Snapshot per shard. Its methods are held to the same contract.
+type ShardedSnapshot struct {
+	snaps []*Snapshot
+	db    *DB
+}
+
+// Good: pure fan-out reads.
+func (ss *ShardedSnapshot) Len() int {
+	n := 0
+	for _, sn := range ss.snaps {
+		n += sn.Len()
+	}
+	return n
+}
+
+func (ss *ShardedSnapshot) BadLock() int {
+	ss.db.mu.RLock() // want `snapshot methods are lock-free by contract: ss.db.mu.RLock must not acquire a mutex inside ShardedSnapshot.BadLock`
+	n := len(ss.snaps)
+	ss.db.mu.RUnlock() // want `snapshot methods are lock-free by contract: ss.db.mu.RUnlock must not acquire a mutex inside ShardedSnapshot.BadLock`
+	return n
+}
+
+func (ss *ShardedSnapshot) BadWriteOwn(i int) {
+	ss.snaps[i] = nil // want `snapshot state is immutable: ss.snaps\[i\] is written inside ShardedSnapshot.BadWriteOwn`
+}
+
+// BadWriteThrough mutates one shard's pinned snapshot state: the chain
+// crosses both ShardedSnapshot and snapCore, either of which convicts.
+func (ss *ShardedSnapshot) BadWriteThrough() {
+	ss.snaps[0].core.version = 9 // want `snapshot state is immutable: ss.snaps\[0\].core.version is written inside ShardedSnapshot.BadWriteThrough`
+}

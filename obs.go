@@ -52,7 +52,16 @@ type dbMetrics struct {
 //
 // The worker-pool gauges are process-global: when several databases share
 // a process, the last SetMetrics call wins for walrus_pool_*.
-func (db *DB) SetMetrics(reg *obs.Registry) {
+func (db *DB) SetMetrics(reg *obs.Registry) { db.setMetricsScoped(reg, "") }
+
+// setMetricsScoped is SetMetrics with a metric-name scope. A non-empty
+// scope like "shard3_" is spliced after the walrus_ prefix of every
+// DB-level metric (walrus_shard3_query_total, walrus_shard3_images, ...),
+// giving each shard of a Sharded database its own series in one shared
+// registry. Subsystem metrics (R*-tree, buffer pool, pager, heap, WAL,
+// worker pool) keep their unscoped names: the registry returns the same
+// handle for a duplicate name, so shards aggregate into one series there.
+func (db *DB) setMetricsScoped(reg *obs.Registry, scope string) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if t, ok := db.tree.(*rstar.Tree); ok {
@@ -69,52 +78,61 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 		db.om.Store(nil)
 		return
 	}
-	m := &dbMetrics{
-		reg:              reg,
-		queries:          reg.Counter("walrus_query_total", "Queries served."),
-		queryRegions:     reg.Counter("walrus_query_regions_total", "Regions extracted from query images."),
-		regionsRetrieved: reg.Counter("walrus_query_regions_retrieved_total", "Matching database regions retrieved by index probes."),
-		candidates:       reg.Counter("walrus_query_candidates_total", "Candidate images scored by queries."),
-		querySeconds:     reg.Histogram("walrus_query_seconds", "End-to-end query latency.", nil),
-		extractSeconds:   reg.Histogram("walrus_query_extract_seconds", "Query region-extraction phase latency.", nil),
-		probeSeconds:     reg.Histogram("walrus_query_probe_seconds", "Query index-probe phase latency.", nil),
-		scoreSeconds:     reg.Histogram("walrus_query_score_seconds", "Query candidate-scoring phase latency.", nil),
-		ingests:          reg.Counter("walrus_ingest_total", "Images ingested."),
-		ingestRegions:    reg.Counter("walrus_ingest_regions_total", "Regions indexed by ingest."),
-		ingestSeconds:    reg.Histogram("walrus_ingest_seconds", "Per-image catalog and index insertion latency (excludes region extraction).", nil),
-		removes:          reg.Counter("walrus_removes_total", "Images removed."),
-		checkpoints:      reg.Counter("walrus_checkpoints_total", "Checkpoints taken by the disk store."),
-		images:           reg.Gauge("walrus_images", "Indexed images."),
-		regions:          reg.Gauge("walrus_regions", "Live indexed regions."),
-		snapshotVersion:  reg.Gauge("walrus_snapshot_version", "Currently published catalog version."),
-		activeSnapshots:  reg.Gauge("walrus_snapshots_active", "Snapshots acquired and not yet released."),
-		snapshotsTotal:   reg.Counter("walrus_snapshots_total", "Snapshots acquired."),
-		publishes:        reg.Counter("walrus_publishes_total", "Catalog versions published by writers."),
-		publishSeconds:   reg.Histogram("walrus_publish_seconds", "Latency of building and publishing one catalog version.", nil),
-	}
+	m := newDBMetrics(reg, scope)
 	m.images.Set(int64(len(db.byID)))
 	m.regions.Set(int64(db.liveRegions))
 	if c := db.cur.Load(); c != nil {
 		m.snapshotVersion.Set(int64(c.version))
 	}
 	if p := db.persist; p != nil {
-		publishRecovery(reg, p.recovery)
+		publishRecovery(reg, scope, p.recovery)
 	}
 	db.om.Store(m)
 }
 
+// newDBMetrics resolves every DB-level handle in the registry under the
+// given name scope ("" for a standalone database, "shardN_" per shard).
+func newDBMetrics(reg *obs.Registry, scope string) *dbMetrics {
+	n := func(base string) string { return "walrus_" + scope + base }
+	return &dbMetrics{
+		reg:              reg,
+		queries:          reg.Counter(n("query_total"), "Queries served."),
+		queryRegions:     reg.Counter(n("query_regions_total"), "Regions extracted from query images."),
+		regionsRetrieved: reg.Counter(n("query_regions_retrieved_total"), "Matching database regions retrieved by index probes."),
+		candidates:       reg.Counter(n("query_candidates_total"), "Candidate images scored by queries."),
+		querySeconds:     reg.Histogram(n("query_seconds"), "End-to-end query latency.", nil),
+		extractSeconds:   reg.Histogram(n("query_extract_seconds"), "Query region-extraction phase latency.", nil),
+		probeSeconds:     reg.Histogram(n("query_probe_seconds"), "Query index-probe phase latency.", nil),
+		scoreSeconds:     reg.Histogram(n("query_score_seconds"), "Query candidate-scoring phase latency.", nil),
+		ingests:          reg.Counter(n("ingest_total"), "Images ingested."),
+		ingestRegions:    reg.Counter(n("ingest_regions_total"), "Regions indexed by ingest."),
+		ingestSeconds:    reg.Histogram(n("ingest_seconds"), "Per-image catalog and index insertion latency (excludes region extraction).", nil),
+		removes:          reg.Counter(n("removes_total"), "Images removed."),
+		checkpoints:      reg.Counter(n("checkpoints_total"), "Checkpoints taken by the disk store."),
+		images:           reg.Gauge(n("images"), "Indexed images."),
+		regions:          reg.Gauge(n("regions"), "Live indexed regions."),
+		snapshotVersion:  reg.Gauge(n("snapshot_version"), "Currently published catalog version."),
+		activeSnapshots:  reg.Gauge(n("snapshots_active"), "Snapshots acquired and not yet released."),
+		snapshotsTotal:   reg.Counter(n("snapshots_total"), "Snapshots acquired."),
+		publishes:        reg.Counter(n("publishes_total"), "Catalog versions published by writers."),
+		publishSeconds:   reg.Histogram(n("publish_seconds"), "Latency of building and publishing one catalog version.", nil),
+	}
+}
+
 // publishRecovery exposes the crash-recovery stats of the last Open as
-// gauges; they describe a one-time event, not an accumulating count.
-func publishRecovery(reg *obs.Registry, rs RecoveryStats) {
+// gauges; they describe a one-time event, not an accumulating count. The
+// scope keeps each shard's recovery report distinct.
+func publishRecovery(reg *obs.Registry, scope string, rs RecoveryStats) {
 	replayed := int64(0)
 	if rs.Replayed {
 		replayed = 1
 	}
-	reg.Gauge("walrus_recovery_replayed", "1 when the last Open replayed a WAL after an unclean shutdown.").Set(replayed)
-	reg.Gauge("walrus_recovery_records_scanned", "WAL records scanned by the last recovery.").Set(int64(rs.RecordsScanned))
-	reg.Gauge("walrus_recovery_pages_applied", "Page images applied by the last recovery.").Set(int64(rs.PagesApplied))
-	reg.Gauge("walrus_recovery_pages_skipped", "Page images skipped by the last recovery (already on disk).").Set(int64(rs.PagesSkipped))
-	reg.Gauge("walrus_recovery_app_records", "Catalog deltas delivered by the last recovery.").Set(int64(rs.AppRecords))
+	n := func(base string) string { return "walrus_" + scope + base }
+	reg.Gauge(n("recovery_replayed"), "1 when the last Open replayed a WAL after an unclean shutdown.").Set(replayed)
+	reg.Gauge(n("recovery_records_scanned"), "WAL records scanned by the last recovery.").Set(int64(rs.RecordsScanned))
+	reg.Gauge(n("recovery_pages_applied"), "Page images applied by the last recovery.").Set(int64(rs.PagesApplied))
+	reg.Gauge(n("recovery_pages_skipped"), "Page images skipped by the last recovery (already on disk).").Set(int64(rs.PagesSkipped))
+	reg.Gauge(n("recovery_app_records"), "Catalog deltas delivered by the last recovery.").Set(int64(rs.AppRecords))
 }
 
 // Metrics returns a point-in-time snapshot of every metric in the

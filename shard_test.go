@@ -1,0 +1,305 @@
+package walrus
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"walrus/internal/imgio"
+)
+
+// shardScriptCorpus is the seeded image set the shard tests mutate; a
+// slice of corpus50 keeps the matrix fast enough for -race.
+func shardScriptCorpus(t *testing.T) []BatchItem {
+	t.Helper()
+	return corpus50(t)[:24]
+}
+
+// runShardScript drives one sharded database through the canonical
+// AddBatch/Add/Remove/re-add script at the given shard count and
+// parallelism. Every (shards, parallelism) combination must leave the
+// database in a logically identical state.
+func runShardScript(t *testing.T, shards, par int) *Sharded {
+	t.Helper()
+	opts := testOptions()
+	opts.Shards = shards
+	opts.Parallelism = par
+	s, err := NewSharded(opts)
+	if err != nil {
+		t.Fatalf("shards=%d: NewSharded: %v", shards, err)
+	}
+	items := shardScriptCorpus(t)
+	if err := s.AddBatch(items[:14], par); err != nil {
+		t.Fatalf("shards=%d: AddBatch: %v", shards, err)
+	}
+	for _, it := range items[14:18] {
+		if err := s.Add(it.ID, it.Image); err != nil {
+			t.Fatalf("shards=%d: Add %s: %v", shards, it.ID, err)
+		}
+	}
+	for _, id := range []string{"corpus-03", "corpus-11", "corpus-16"} {
+		ok, err := s.Remove(id)
+		if err != nil {
+			t.Fatalf("shards=%d: Remove %s: %v", shards, id, err)
+		}
+		if !ok {
+			t.Fatalf("shards=%d: Remove %s: not present", shards, id)
+		}
+	}
+	if err := s.AddBatch(items[18:], par); err != nil {
+		t.Fatalf("shards=%d: AddBatch tail: %v", shards, err)
+	}
+	// Re-adding a removed id must work and land on the same shard.
+	if err := s.Add("corpus-11", items[11].Image); err != nil {
+		t.Fatalf("shards=%d: re-Add corpus-11: %v", shards, err)
+	}
+	return s
+}
+
+// shardFingerprint renders everything the determinism matrix compares
+// byte-for-byte: the canonical id listing, the logical (layout-independent)
+// Stats fields, per-id region counts, and full query rankings with exact
+// similarities. Physical layout — per-shard image counts, index heights —
+// is deliberately excluded: it varies with the shard count by design.
+func shardFingerprint(t *testing.T, s *Sharded, queries []*imgio.Image, par int) string {
+	t.Helper()
+	var b strings.Builder
+	ids := s.IDs()
+	b.WriteString("ids=")
+	b.WriteString(strings.Join(ids, ","))
+	b.WriteString("\n")
+	st := s.Stats()
+	b.WriteString("images=")
+	b.WriteString(strconv.Itoa(st.Images))
+	b.WriteString(" regions=")
+	b.WriteString(strconv.Itoa(st.Regions))
+	b.WriteString(" sigdim=")
+	b.WriteString(strconv.Itoa(st.SignatureDim))
+	b.WriteString(" disk=")
+	b.WriteString(strconv.FormatBool(st.DiskBacked))
+	b.WriteString("\n")
+	if got := s.Len(); got != st.Images {
+		t.Fatalf("Len() = %d, Stats().Images = %d", got, st.Images)
+	}
+	if got := s.NumRegions(); got != st.Regions {
+		t.Fatalf("NumRegions() = %d, Stats().Regions = %d", got, st.Regions)
+	}
+	for _, id := range ids {
+		regs, ok := s.RegionsOf(id)
+		if !ok {
+			t.Fatalf("RegionsOf(%s): not found but listed in IDs", id)
+		}
+		b.WriteString("regions[")
+		b.WriteString(id)
+		b.WriteString("]=")
+		b.WriteString(strconv.Itoa(len(regs)))
+		b.WriteString("\n")
+	}
+	p := DefaultQueryParams()
+	p.Parallelism = par
+	p.Limit = 10
+	for qi, q := range queries {
+		matches, qs, err := s.Query(q, p)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		b.WriteString("q")
+		b.WriteString(strconv.Itoa(qi))
+		b.WriteString(" qregions=")
+		b.WriteString(strconv.Itoa(qs.QueryRegions))
+		b.WriteString(" retrieved=")
+		b.WriteString(strconv.Itoa(qs.RegionsRetrieved))
+		b.WriteString(" candidates=")
+		b.WriteString(strconv.Itoa(qs.CandidateImages))
+		b.WriteString("\n")
+		for _, m := range matches {
+			b.WriteString("  ")
+			b.WriteString(m.ID)
+			b.WriteString(" ")
+			b.WriteString(strconv.FormatFloat(m.Similarity, 'g', -1, 64))
+			b.WriteString(" ")
+			b.WriteString(strconv.Itoa(m.MatchingRegions))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func shardTestQueries() []*imgio.Image {
+	return []*imgio.Image{
+		scene(green, red, 24, 24, 40),
+		scene(gray, blue, 40, 40, 44),
+		scene(green, yellow, 16, 48, 36),
+	}
+}
+
+// TestShardMatrixDeterminism is the shard-count equivalence matrix: the
+// same mutation script run at shards ∈ {1,2,4,7} and Parallelism ∈ {1,4}
+// must produce byte-identical query results, IDs() and logical Stats()
+// output, with the shards=1 serial run pinned as the oracle.
+func TestShardMatrixDeterminism(t *testing.T) {
+	queries := shardTestQueries()
+	oracle := ""
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, par := range []int{1, 4} {
+			s := runShardScript(t, shards, par)
+			got := shardFingerprint(t, s, queries, par)
+			if oracle == "" {
+				oracle = got
+				continue
+			}
+			if got != oracle {
+				t.Errorf("shards=%d parallelism=%d diverges from the shards=1 oracle\n--- oracle ---\n%s--- got ---\n%s",
+					shards, par, oracle, got)
+			}
+		}
+	}
+}
+
+// TestShardMatchesUnsharded pins the sharded fan-out to the plain DB
+// pipeline: a 4-shard database must rank every query exactly like an
+// unsharded database over the same corpus.
+func TestShardMatchesUnsharded(t *testing.T) {
+	items := shardScriptCorpus(t)
+	plain, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.AddBatch(items, 0); err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	opts.Shards = 4
+	s, err := NewSharded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBatch(items, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != plain.Len() || s.NumRegions() != plain.NumRegions() {
+		t.Fatalf("sharded %d/%d images/regions, plain %d/%d",
+			s.Len(), s.NumRegions(), plain.Len(), plain.NumRegions())
+	}
+	for qi, q := range shardTestQueries() {
+		want, ws, err := plain.Query(q, DefaultQueryParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gs, err := s.Query(q, DefaultQueryParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gs.RegionsRetrieved != ws.RegionsRetrieved || gs.CandidateImages != ws.CandidateImages {
+			t.Fatalf("query %d stats differ: retrieved %d/%d candidates %d/%d",
+				qi, gs.RegionsRetrieved, ws.RegionsRetrieved, gs.CandidateImages, ws.CandidateImages)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d matches sharded, %d plain", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || got[i].Similarity != want[i].Similarity ||
+				got[i].MatchingRegions != want[i].MatchingRegions {
+				t.Fatalf("query %d rank %d differs: %+v vs %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardBulkLoadDeterminism: the STR bulk-load constructors must
+// produce the same logical state as the incremental script's AddBatch,
+// at every shard count.
+func TestShardBulkLoadDeterminism(t *testing.T) {
+	items := shardScriptCorpus(t)
+	queries := shardTestQueries()
+	oracle := ""
+	for _, shards := range []int{1, 3} {
+		opts := testOptions()
+		opts.Shards = shards
+		built, err := BuildFromSharded(opts, items, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, err := NewSharded(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := incr.AddBatch(items, 0); err != nil {
+			t.Fatal(err)
+		}
+		fpBuilt := shardFingerprint(t, built, queries, 0)
+		fpIncr := shardFingerprint(t, incr, queries, 0)
+		if fpBuilt != fpIncr {
+			t.Errorf("shards=%d: BuildFromSharded diverges from AddBatch\n--- AddBatch ---\n%s--- BuildFrom ---\n%s",
+				shards, fpIncr, fpBuilt)
+		}
+		if oracle == "" {
+			oracle = fpBuilt
+		} else if fpBuilt != oracle {
+			t.Errorf("shards=%d: BuildFromSharded diverges from shards=1 oracle", shards)
+		}
+	}
+}
+
+// TestShardDiskRoundtrip: CreateSharded → mutate → Close → OpenSharded
+// preserves the fingerprint, reports per-shard recovery stats, and the
+// manifest makes the directory auto-detectable.
+func TestShardDiskRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.Shards = 3
+	s, err := CreateSharded(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := shardScriptCorpus(t)
+	if err := s.AddBatch(items[:16], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Remove(items[5].ID); err != nil {
+		t.Fatal(err)
+	}
+	queries := shardTestQueries()
+	before := shardFingerprint(t, s, queries, 0)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsSharded(dir) {
+		t.Fatalf("IsSharded(%s) = false after CreateSharded", dir)
+	}
+	reopened, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d after reopen, want 3", got)
+	}
+	rs, ok := reopened.Recovery()
+	if !ok || len(rs) != 3 {
+		t.Fatalf("Recovery() = (%d reports, %v), want 3 reports from a disk-backed fleet", len(rs), ok)
+	}
+	for i, r := range rs {
+		if r.Replayed {
+			t.Errorf("shard %d replayed its WAL after a clean close", i)
+		}
+	}
+	after := shardFingerprint(t, reopened, queries, 0)
+	if after != before {
+		t.Errorf("fingerprint changed across Close/OpenSharded\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+
+	// CreateFromSharded bulk-loads into a fresh directory; the physical
+	// layout differs (STR packing) but the fingerprint may not.
+	bulkDir := t.TempDir()
+	final := append([]BatchItem(nil), items[:5]...)
+	final = append(final, items[6:16]...)
+	bulk, err := CreateFromSharded(bulkDir, opts, final, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bulk.Close()
+	if got := shardFingerprint(t, bulk, queries, 0); got != before {
+		t.Errorf("CreateFromSharded fingerprint diverges\n--- incremental ---\n%s--- bulk ---\n%s", before, got)
+	}
+}

@@ -53,6 +53,13 @@ type Options struct {
 	// the GiST rectangle tree. Disk-backed databases always use the paged
 	// R*-tree.
 	Index IndexBackend
+	// Shards is the shard count of a sharded database (NewSharded,
+	// CreateSharded, BuildFromSharded): the catalog is partitioned by a
+	// hash of the image id into this many independent sub-databases, each
+	// with its own catalog, index, WAL and snapshot chain, so writers on
+	// different shards never share a lock. 0 means 1. Ignored by the
+	// single-database constructors (New, Create, BuildFrom).
+	Shards int
 	// Parallelism is the default worker count for ingest: it resolves the
 	// workers argument of AddBatch, BuildFrom and CreateFrom when that
 	// argument is 0, and (unless Region.Workers overrides it) bounds the
