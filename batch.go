@@ -60,7 +60,7 @@ func (db *DB) addExtractedLocked(id string, im *imgio.Image, regions []region.Re
 		start = statsClock()
 	}
 	if _, dup := db.byID[id]; dup {
-		return fmt.Errorf("walrus: image %q already indexed", id)
+		return fmt.Errorf("walrus: image %q %w", id, ErrDuplicateID)
 	}
 	imgIdx := len(db.images)
 	// Appends extend the catalog past any published length, which never

@@ -18,6 +18,12 @@
 #      count must reproduce the shards=1 oracle byte-for-byte), the
 #      per-shard crash matrix and the cross-shard fan-out oracle under
 #      the race detector
+#   3e. serve tier: exercises the HTTP front-end under the race detector
+#      — handler contracts, admission saturation (429 + gauges draining
+#      to zero), coalescer version atomicity, and the graceful-drain
+#      no-acked-write-lost proof against a live listener. The load
+#      harness itself runs via `walrus-bench -exp serve` and writes
+#      BENCH_serve.json; it is not part of the CI gate.
 #   4. full test suite
 #   5. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
 #      target (PPM decoder, WAL replay) for a few seconds of random input
@@ -57,6 +63,9 @@ go test -race -count=1 -run 'TestSnapshot' .
 
 echo "== tier 1: shard (determinism matrix, per-shard crash recovery, fan-out oracle) =="
 go test -race -count=1 -run 'TestShard' .
+
+echo "== tier 1: serve (handlers, admission, coalescing, graceful drain) =="
+go test -race -count=1 -run 'TestServe' ./...
 
 echo "== tier 1: full tests =="
 go test ./...

@@ -9,8 +9,9 @@
 //
 // Experiments: fig6a, fig6b, fig7, fig8, table1, regions, matchers,
 // robust, precision, indexing, epsilon, parallel, durability,
-// obs-overhead, snapshot, shard, all. The shard experiment needs no
-// dataset: it synthesizes its own images and writes BENCH_shard.json.
+// obs-overhead, snapshot, shard, serve, all. The shard and serve
+// experiments need no dataset: they synthesize their own images and
+// write BENCH_shard.json / BENCH_serve.json.
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("walrus-bench: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, obs-overhead, snapshot, shard, all")
+		exp         = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7, fig8, table1, regions, matchers, robust, precision, indexing, epsilon, parallel, durability, obs-overhead, snapshot, shard, serve, all")
 		imgSize     = flag.Int("image-size", 256, "image side for Figure 6 (paper: 256)")
 		maxWin      = flag.Int("max-window", 128, "largest window for Figure 6(a) (paper: 128)")
 		maxSig      = flag.Int("max-signature", 32, "largest signature for Figure 6(b) (paper: 32)")
@@ -45,6 +46,11 @@ func main() {
 		shardOut    = flag.String("shard-json", "BENCH_shard.json", "output file for the shard write-scaling measurement")
 		shardBase   = flag.Int("shard-base", 100000, "preloaded signatures for the shard experiment")
 		shardWrites = flag.Int("shard-writes", 300, "timed marginal writes per shard count for the shard experiment")
+
+		serveOut       = flag.String("serve-json", "BENCH_serve.json", "output file for the serve load measurement")
+		serveClients   = flag.Int("serve-clients", 1000, "concurrent clients for the serve experiment")
+		serveSeconds   = flag.Int("serve-seconds", 5, "load duration for the serve experiment")
+		serveWriteFrac = flag.Float64("serve-write-frac", 0.2, "fraction of serve-experiment requests that are ingests")
 	)
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -96,6 +102,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(out, "wrote %s\n\n", *shardOut)
+	}
+
+	if want("serve") {
+		fmt.Fprintf(out, "== Serving: %d concurrent clients, mixed search/ingest load ==\n", *serveClients)
+		res, err := experiments.ServeBench(*serveClients, *serveSeconds, *serveWriteFrac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintServeBench(out, res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n\n", *serveOut)
 	}
 
 	needDataset := want("fig7") || want("fig8") || want("table1") || want("regions") || want("matchers") || want("robust") || want("precision") || want("indexing") || want("epsilon") || want("parallel") || want("durability") || want("obs-overhead") || want("snapshot")
@@ -289,7 +312,7 @@ func main() {
 }
 
 func isKnown(e string) bool {
-	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability obs-overhead snapshot shard all") {
+	for _, k := range strings.Fields("fig6a fig6b fig7 fig8 table1 regions matchers robust precision indexing epsilon parallel durability obs-overhead snapshot shard serve all") {
 		if e == k {
 			return true
 		}

@@ -1,10 +1,13 @@
-// Webservice: a small HTTP image-search service over a WALRUS database.
-// On startup it indexes a synthetic labeled dataset, then serves:
+// Webservice: a small HTTP image-search service over a WALRUS database,
+// now a thin wrapper over the production front-end in internal/serve —
+// the example only assembles a dataset and delegates routing, admission
+// control, write coalescing and graceful shutdown to the serve package.
 //
-//	GET  /stats                  — database statistics (JSON)
-//	GET  /search?id=<id>&k=5     — query by an indexed image's id
-//	POST /search?k=5             — query by a PPM image in the request body
-//	POST /images?id=<id>         — index a PPM image from the request body
+//	GET  /v1/stats                  — database + serving statistics (JSON)
+//	GET  /v1/search?id=<id>&k=5     — query by an indexed image's id
+//	POST /v1/search?k=5             — query by a PPM image in the request body
+//	POST /v1/images?id=<id>         — index a PPM image from the request body
+//	GET  /healthz, /readyz          — liveness and readiness
 //
 // Run with:
 //
@@ -13,125 +16,22 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
-	"strconv"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"walrus"
 	"walrus/internal/dataset"
-	"walrus/internal/imgio"
+	"walrus/internal/serve"
 )
-
-type server struct {
-	db *walrus.DB
-	ds *dataset.Dataset
-}
-
-type searchResponse struct {
-	Query   string         `json:"query"`
-	Elapsed string         `json:"elapsed"`
-	Results []searchResult `json:"results"`
-}
-
-type searchResult struct {
-	ID         string  `json:"id"`
-	Category   string  `json:"category"`
-	Similarity float64 `json:"similarity"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
-		"images":  s.db.Len(),
-		"regions": s.db.NumRegions(),
-	})
-}
-
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	k := 5
-	if v := r.URL.Query().Get("k"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 || n > 100 {
-			http.Error(w, "invalid k", http.StatusBadRequest)
-			return
-		}
-		k = n
-	}
-	var query *imgio.Image
-	var label string
-	switch r.Method {
-	case http.MethodGet:
-		id := r.URL.Query().Get("id")
-		item, ok := s.ds.Find(id)
-		if !ok {
-			http.Error(w, "unknown image id", http.StatusNotFound)
-			return
-		}
-		query = item.Image
-		label = id
-	case http.MethodPost:
-		im, err := imgio.DecodePPM(io.LimitReader(r.Body, 16<<20))
-		if err != nil {
-			http.Error(w, "bad PPM body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		query = im
-		label = "(uploaded)"
-	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-
-	params := walrus.DefaultQueryParams()
-	params.Limit = k
-	matches, stats, err := s.db.Query(query, params)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	resp := searchResponse{Query: label, Elapsed: stats.Elapsed.String()}
-	for _, m := range matches {
-		resp.Results = append(resp.Results, searchResult{
-			ID:         m.ID,
-			Category:   string(dataset.CategoryOf(m.ID)),
-			Similarity: m.Similarity,
-		})
-	}
-	writeJSON(w, resp)
-}
-
-func (s *server) handleAddImage(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	id := r.URL.Query().Get("id")
-	if id == "" {
-		http.Error(w, "missing id", http.StatusBadRequest)
-		return
-	}
-	im, err := imgio.DecodePPM(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		http.Error(w, "bad PPM body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if err := s.db.Add(id, im); err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
-	}
-	writeJSON(w, map[string]string{"indexed": id})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
-}
 
 func main() {
 	log.SetFlags(0)
@@ -150,39 +50,79 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("indexing %d images...", len(ds.Items))
-	for _, it := range ds.Items {
-		if err := db.Add(it.ID, it.Image); err != nil {
-			log.Fatal(err)
-		}
+	items := make([]walrus.BatchItem, len(ds.Items))
+	for i, it := range ds.Items {
+		items[i] = walrus.BatchItem{ID: it.ID, Image: it.Image}
 	}
-	s := &server{db: db, ds: ds}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/images", s.handleAddImage)
+	log.Printf("indexing %d images...", len(items))
+	if err := db.AddBatch(items, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	params := walrus.DefaultQueryParams()
+	params.Limit = 5
+	srv, err := serve.New(serve.Config{
+		Backend:       db,
+		DefaultParams: params,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *selftest {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
-		go http.Serve(ln, mux)
+		go func() {
+			if err := srv.Serve(ln); err != nil {
+				log.Fatal(err)
+			}
+		}()
 		base := "http://" + ln.Addr().String()
 		for _, url := range []string{
-			base + "/stats",
-			base + "/search?id=flowers-0000&k=5",
+			base + "/v1/stats",
+			base + "/v1/search?id=flowers-0000&k=5",
+			base + "/healthz",
 		} {
 			resp, err := http.Get(url)
 			if err != nil {
 				log.Fatal(err)
 			}
-			body, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := resp.Body.Close(); err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("GET %s -> %s\n%s\n", url, resp.Status, body)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
-	log.Printf("serving on %s (try /stats or /search?id=flowers-0000)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() {
+		<-sigs
+		log.Print("draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- srv.Drain(ctx)
+	}()
+
+	log.Printf("serving on %s (try /v1/stats or /v1/search?id=flowers-0000)", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
 }

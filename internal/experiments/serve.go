@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"walrus"
+	"walrus/internal/imgio"
+	"walrus/internal/serve"
+)
+
+// ServeLatency summarizes one operation class's latency distribution.
+type ServeLatency struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// ServeBenchResult measures the HTTP front-end under concurrent mixed
+// load: many clients issue searches and ingests against an in-process
+// walrus-serve over a real TCP listener. Coalescing shows up as
+// VersionsPublished ≪ Writes — every ingest was acknowledged
+// individually, but the copy-on-write catalog republished only once per
+// flush — while admission control keeps the engine at a fixed
+// concurrency and sheds overload as 429s instead of queueing without
+// bound.
+type ServeBenchResult struct {
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_sec"`
+	WriteFraction float64 `json:"write_fraction"`
+	BaseImages    int     `json:"base_images"`
+
+	Requests       int     `json:"requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	Errors         int     `json:"errors"`
+	Shed           int     `json:"shed_429"`
+
+	Search ServeLatency `json:"search"`
+	Ingest ServeLatency `json:"ingest"`
+
+	Writes            int     `json:"writes_acknowledged"`
+	VersionsPublished uint64  `json:"versions_published"`
+	WritesPerVersion  float64 `json:"writes_per_version"`
+}
+
+// serveBenchOptions mirrors the shard experiment's dataset-free setup:
+// 32×32 images under a fixed 32×32 window yield one region per image,
+// so the harness measures the serving layer, not region extraction.
+func serveBenchOptions() walrus.Options {
+	o := walrus.DefaultOptions()
+	o.Region.MaxWindow = 32
+	o.Region.MinWindow = 32
+	o.Region.Step = 32
+	return o
+}
+
+// ServeBench loads an in-process server with clients concurrent workers
+// for roughly seconds wall-clock, writeFrac of each worker's requests
+// being ingests and the rest searches.
+func ServeBench(clients, seconds int, writeFrac float64) (*ServeBenchResult, error) {
+	const (
+		baseImages = 500
+		bodyPool   = 64
+	)
+	db, err := walrus.New(serveBenchOptions())
+	if err != nil {
+		return nil, err
+	}
+	pool := shardScalingImages(bodyPool)
+	items := make([]walrus.BatchItem, baseImages)
+	for i := range items {
+		items[i] = walrus.BatchItem{ID: fmt.Sprintf("base-%04d", i), Image: pool[i%bodyPool]}
+	}
+	if err := db.AddBatch(items, 0); err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, bodyPool)
+	for i, im := range pool {
+		var b bytes.Buffer
+		if err := imgio.EncodePPM(&b, im); err != nil {
+			return nil, err
+		}
+		bodies[i] = b.Bytes()
+	}
+
+	params := walrus.DefaultQueryParams()
+	params.Limit = 5
+	srv, err := serve.New(serve.Config{
+		Backend: db,
+		// Admit enough requests at once that concurrent writers actually
+		// overlap inside a coalescing window, and queue up to the full
+		// client population so a load spike waits instead of shedding;
+		// the bench still counts any 429s it takes.
+		MaxConcurrentQueries: 64,
+		QueueLimit:           clients,
+		CoalesceMaxWait:      5 * time.Millisecond,
+		DefaultParams:        params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}}
+
+	type worker struct {
+		search, ingest []time.Duration
+		errors, shed   int
+		writes         int
+	}
+	v0 := db.Version()
+	workers := make([]worker, clients)
+	deadline := time.Now().Add(time.Duration(seconds) * time.Second)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			me := &workers[w]
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				body := bodies[rng.Intn(bodyPool)]
+				var (
+					resp *http.Response
+					err  error
+				)
+				isWrite := rng.Float64() < writeFrac
+				t0 := time.Now()
+				if isWrite {
+					url := fmt.Sprintf("%s/v1/images?id=c%d-%d", base, w, seq)
+					resp, err = client.Post(url, "image/x-portable-pixmap", bytes.NewReader(body))
+				} else {
+					resp, err = client.Post(base+"/v1/search?k=5", "image/x-portable-pixmap", bytes.NewReader(body))
+				}
+				elapsed := time.Since(t0)
+				if err != nil {
+					me.errors++
+					continue
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					me.errors++
+				}
+				if err := resp.Body.Close(); err != nil {
+					me.errors++
+				}
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					me.shed++
+				case resp.StatusCode >= 400:
+					me.errors++
+				case isWrite:
+					me.writes++
+					me.ingest = append(me.ingest, elapsed)
+				default:
+					me.search = append(me.search, elapsed)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &ServeBenchResult{
+		Clients:       clients,
+		DurationSec:   elapsed.Seconds(),
+		WriteFraction: writeFrac,
+		BaseImages:    baseImages,
+	}
+	var search, ingest []time.Duration
+	for i := range workers {
+		w := &workers[i]
+		search = append(search, w.search...)
+		ingest = append(ingest, w.ingest...)
+		res.Errors += w.errors
+		res.Shed += w.shed
+		res.Writes += w.writes
+	}
+	res.Requests = len(search) + len(ingest) + res.Errors + res.Shed
+	res.RequestsPerSec = float64(res.Requests) / elapsed.Seconds()
+	res.Search = summarizeLatencies(search)
+	res.Ingest = summarizeLatencies(ingest)
+	res.VersionsPublished = db.Version() - v0
+	if res.VersionsPublished > 0 {
+		res.WritesPerVersion = float64(res.Writes) / float64(res.VersionsPublished)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		return nil, err
+	}
+	if err := <-serveErr; err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func summarizeLatencies(ds []time.Duration) ServeLatency {
+	out := ServeLatency{Count: len(ds)}
+	if len(ds) == 0 {
+		return out
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ds)-1))
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
+	out.P50Ms = at(0.50)
+	out.P90Ms = at(0.90)
+	out.P99Ms = at(0.99)
+	return out
+}
+
+// PrintServeBench renders the result as a small report.
+func PrintServeBench(w io.Writer, r *ServeBenchResult) {
+	fmt.Fprintf(w, "clients=%d duration=%.1fs write-fraction=%.2f base-images=%d\n",
+		r.Clients, r.DurationSec, r.WriteFraction, r.BaseImages)
+	fmt.Fprintf(w, "requests=%d (%.0f/s)  errors=%d  shed(429)=%d\n",
+		r.Requests, r.RequestsPerSec, r.Errors, r.Shed)
+	fmt.Fprintf(w, "search  n=%-7d p50=%.2fms p90=%.2fms p99=%.2fms\n",
+		r.Search.Count, r.Search.P50Ms, r.Search.P90Ms, r.Search.P99Ms)
+	fmt.Fprintf(w, "ingest  n=%-7d p50=%.2fms p90=%.2fms p99=%.2fms\n",
+		r.Ingest.Count, r.Ingest.P50Ms, r.Ingest.P90Ms, r.Ingest.P99Ms)
+	fmt.Fprintf(w, "writes=%d across %d published versions (%.1f writes/version coalesced)\n",
+		r.Writes, r.VersionsPublished, r.WritesPerVersion)
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestServeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve bench drives a live listener; skipped in -short")
+	}
+	res, err := ServeBench(16, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 16 || res.WriteFraction != 0.25 {
+		t.Fatalf("workload shape not echoed: %+v", res)
+	}
+	if res.Requests == 0 || res.Search.Count == 0 {
+		t.Fatalf("no load reached the server: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors under smoke load: %+v", res.Errors, res)
+	}
+	if res.Writes > 0 {
+		if res.VersionsPublished == 0 {
+			t.Fatalf("writes acknowledged but no version published: %+v", res)
+		}
+		if res.VersionsPublished > uint64(res.Writes) {
+			t.Fatalf("more versions than writes (coalescing inverted): %+v", res)
+		}
+	}
+	var buf bytes.Buffer
+	PrintServeBench(&buf, res)
+	for _, want := range []string{"requests=", "search", "writes/version"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("printout missing %q:\n%s", want, buf.String())
+		}
+	}
+}

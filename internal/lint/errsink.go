@@ -14,13 +14,24 @@ var errSinkPackages = map[string]bool{
 	"internal/imgio": true, // PPM/PNG I/O
 }
 
-// ErrSink flags discarded errors from the durability surface: calls on
-// store.File implementations, pager/bufpool/heap/WAL methods, and imgio
-// I/O functions whose error result is dropped (bare expression statement,
-// defer/go statement, or assignment to the blank identifier).
+// stdlibSinkPackages extends the surface to the serving layer's stdlib
+// edges: a dropped http.ResponseWriter write, json.Encoder encode, or
+// http.Server shutdown error silently truncates a response or a drain,
+// which is as invisible to clients as a dropped fsync is to recovery.
+// Paths here are absolute import paths, not module-relative ones.
+var stdlibSinkPackages = map[string]bool{
+	"net/http":      true, // ResponseWriter.Write, Server.Shutdown/Serve/Close
+	"encoding/json": true, // Encoder.Encode, Decoder.Decode
+}
+
+// ErrSink flags discarded errors from the durability and serving
+// surfaces: calls on store.File implementations, pager/bufpool/heap/WAL
+// methods, imgio I/O functions, and net/http / encoding/json APIs whose
+// error result is dropped (bare expression statement, defer/go
+// statement, or assignment to the blank identifier).
 var ErrSink = &Analyzer{
 	Name: "errsink",
-	Doc:  "flag discarded errors from store.File, pager, bufpool, WAL, and imgio I/O",
+	Doc:  "flag discarded errors from store.File, pager, bufpool, WAL, imgio, net/http, and encoding/json APIs",
 	Run:  runErrSink,
 }
 
@@ -104,7 +115,7 @@ func surfaceCall(pkg *Package, fileIface *types.Interface, call *ast.CallExpr) (
 		recv := selInfo.Recv()
 		if named := namedOf(recv); named != nil {
 			name := named.Obj().Name() + "." + fn.Name()
-			if onSurfacePkg(pkg, named.Obj().Pkg()) {
+			if onSurfacePkg(pkg, named.Obj().Pkg()) || onStdlibSinkPkg(named.Obj().Pkg()) {
 				return name, true
 			}
 			if fileIface != nil && (types.Implements(recv, fileIface) ||
@@ -118,10 +129,16 @@ func surfaceCall(pkg *Package, fileIface *types.Interface, call *ast.CallExpr) (
 		return "", false
 	}
 	// Package-level function call: classify by the callee's package.
-	if onSurfacePkg(pkg, fn.Pkg()) {
+	if onSurfacePkg(pkg, fn.Pkg()) || onStdlibSinkPkg(fn.Pkg()) {
 		return fn.Pkg().Name() + "." + fn.Name(), true
 	}
 	return "", false
+}
+
+// onStdlibSinkPkg reports whether p is one of the stdlib serving-surface
+// packages.
+func onStdlibSinkPkg(p *types.Package) bool {
+	return p != nil && stdlibSinkPackages[p.Path()]
 }
 
 // namedOf unwraps pointers and returns the named type of t, or nil.

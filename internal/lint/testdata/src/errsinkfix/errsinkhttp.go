@@ -1,0 +1,45 @@
+// Serving-surface cases for the errsink analyzer: dropped errors from
+// net/http and encoding/json silently truncate responses or drains and
+// must be flagged; observed errors and no-error APIs must not.
+package errsinkfix
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func dropResponseWrite(w http.ResponseWriter) {
+	w.Write([]byte("ok")) // want `call to ResponseWriter.Write discards its error`
+}
+
+func blankEncode(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want `error from Encoder.Encode assigned to _`
+}
+
+func dropShutdown(ctx context.Context, srv *http.Server) {
+	srv.Shutdown(ctx) // want `call to Server.Shutdown discards its error`
+}
+
+func dropDeferredShutdown(ctx context.Context, srv *http.Server) {
+	defer srv.Shutdown(ctx) // want `deferred call to Server.Shutdown discards its error`
+}
+
+func observedServing(w http.ResponseWriter, v any) error {
+	if _, err := w.Write([]byte("ok")); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(v)
+}
+
+func noErrorResult(w http.ResponseWriter) {
+	// WriteHeader and http.Error return no error: nothing to observe.
+	w.WriteHeader(http.StatusTeapot)
+	http.Error(w, "teapot", http.StatusTeapot)
+}
+
+func offSurfaceWriter(w http.ResponseWriter) {
+	// fmt is not a sink package even when it writes into one.
+	fmt.Fprintln(w, "ok")
+}

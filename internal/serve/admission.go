@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"walrus/internal/obs"
+)
+
+// errSaturated reports a request shed because every admission slot was
+// busy and the wait queue was at its bound. Handlers map it to 429 with
+// a Retry-After hint.
+var errSaturated = errors.New("serve: server saturated, admission queue full")
+
+// admission is the bounded queue in front of the request worker slots.
+// At most cap(slots) requests run concurrently; at most queueLimit more
+// wait for a slot; everything beyond that is shed immediately. Shedding
+// at the edge keeps the engine's worker pool at a fixed concurrency
+// instead of collapsing under a convoy of half-finished requests.
+type admission struct {
+	slots      chan struct{} // filled token = one running request
+	queueLimit int
+	queued     atomic.Int64
+	m          *metrics
+}
+
+func newAdmission(slots, queueLimit int, m *metrics) *admission {
+	return &admission{slots: make(chan struct{}, slots), queueLimit: queueLimit, m: m}
+}
+
+// acquire takes an admission slot, waiting in the bounded queue if none
+// is free. It returns errSaturated when the queue is full, or the
+// context's error if the deadline expires while queued. A nil return
+// must be paired with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.m.admitted.Inc()
+		a.m.active.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > int64(a.queueLimit) {
+		a.queued.Add(-1)
+		a.m.shed.Inc()
+		return errSaturated
+	}
+	a.m.queueDepth.Add(1)
+	start := obs.Clock()
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		a.m.queueDepth.Add(-1)
+		a.m.admissionWait.Observe(obs.Since(start).Seconds())
+		a.m.admitted.Inc()
+		a.m.active.Add(1)
+		return nil
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		a.m.queueDepth.Add(-1)
+		a.m.deadlineDrops.Inc()
+		return ctx.Err()
+	}
+}
+
+// release returns the slot taken by a successful acquire.
+func (a *admission) release() {
+	<-a.slots
+	a.m.active.Add(-1)
+}
+
+// depth reports the current wait-queue depth (for /v1/stats; the gauge
+// serves the metrics path, this serves the JSON one even with metrics
+// off).
+func (a *admission) depth() int { return int(a.queued.Load()) }
+
+// running reports the number of requests currently holding a slot.
+func (a *admission) running() int { return len(a.slots) }

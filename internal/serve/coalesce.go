@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"walrus"
+	"walrus/internal/obs"
+)
+
+// errDraining reports a write refused because the server is shutting
+// down. Handlers map it to 503.
+var errDraining = errors.New("serve: draining, no longer accepting writes")
+
+// coalesceReq is one ingest request's items plus the channel its flush
+// outcome is delivered on. A request's items commit or fail together.
+type coalesceReq struct {
+	items []walrus.BatchItem
+	done  chan error
+}
+
+// coalescer batches concurrent ingests into single AddBatch calls. All
+// writes of the serving process flow through its one goroutine, which
+// gathers requests until the batch reaches maxBatch items or the oldest
+// pending request has waited maxWait, then flushes the whole batch as
+// one AddBatch — one published catalog version per database (per shard
+// for sharded backends) per flush, however many clients were writing.
+//
+// Because that goroutine is the process's only writer, it can reject
+// duplicate ids exactly (against the backend and within the batch)
+// before the flush, so one poisoned request cannot fail its neighbours
+// and the success path stays version-atomic.
+type coalescer struct {
+	backend  Backend
+	maxBatch int
+	maxWait  time.Duration
+	workers  int
+	m        *metrics
+
+	in     chan coalesceReq
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+func newCoalescer(b Backend, maxBatch int, maxWait time.Duration, workers int, m *metrics) *coalescer {
+	c := &coalescer{
+		backend:  b,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		workers:  workers,
+		m:        m,
+		in:       make(chan coalesceReq),
+		quit:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// add submits a request's items for the next flush and blocks until
+// that flush commits (or rejects them). The wait is not abandoned on
+// context expiry: once enqueued, the write's true outcome — committed
+// or not — must reach the caller, and flushes are latency-bounded by
+// maxWait, so the wait is too.
+func (c *coalescer) add(req coalesceReq) error {
+	if c.closed.Load() {
+		return errDraining
+	}
+	select {
+	case c.in <- req:
+	case <-c.quit:
+		return errDraining
+	}
+	return <-req.done
+}
+
+// close stops intake and flushes any pending requests. After close, add
+// returns errDraining. Safe to call once.
+func (c *coalescer) close() {
+	c.closed.Store(true)
+	close(c.quit)
+	c.wg.Wait()
+}
+
+// run is the single writer goroutine: park until a request arrives,
+// gather companions for it, flush, repeat.
+func (c *coalescer) run() {
+	defer c.wg.Done()
+	for {
+		select {
+		case req := <-c.in:
+			c.gather(req)
+		case <-c.quit:
+			c.drainPending()
+			return
+		}
+	}
+}
+
+// gather accumulates requests behind first until the batch holds
+// maxBatch items or first has waited maxWait, then flushes.
+func (c *coalescer) gather(first coalesceReq) {
+	batch := []coalesceReq{first}
+	n := len(first.items)
+	timer := time.NewTimer(c.maxWait)
+	defer timer.Stop()
+	for n < c.maxBatch {
+		select {
+		case req := <-c.in:
+			batch = append(batch, req)
+			n += len(req.items)
+		case <-timer.C:
+			c.flush(batch)
+			return
+		case <-c.quit:
+			// Drain was requested mid-gather: flush what we have now so
+			// the blocked callers get their acknowledgements, then let
+			// run's quit arm collect any last racers.
+			c.flush(batch)
+			return
+		}
+	}
+	c.flush(batch)
+}
+
+// drainPending flushes requests that won the race into c.in while quit
+// was closing. Their callers are still blocked on done and must hear an
+// outcome.
+func (c *coalescer) drainPending() {
+	for {
+		select {
+		case req := <-c.in:
+			c.flush([]coalesceReq{req})
+		default:
+			return
+		}
+	}
+}
+
+// flush commits one gathered batch. Requests carrying an id the backend
+// already holds — or one an earlier request in the same batch claimed —
+// are rejected before the AddBatch, so the flush itself cannot fail on
+// duplicates and commits as one published version. If AddBatch still
+// fails (extraction error), every accepted request hears that error:
+// the batch may have partially applied, and an error acknowledgement
+// truthfully reports "outcome unknown, retry".
+func (c *coalescer) flush(batch []coalesceReq) {
+	accepted := batch[:0:0]
+	var items []walrus.BatchItem
+	claimed := make(map[string]bool)
+	for _, req := range batch {
+		reject := error(nil)
+		own := make(map[string]bool, len(req.items))
+		for _, it := range req.items {
+			if _, dup := c.backend.RegionsOf(it.ID); dup || claimed[it.ID] || own[it.ID] {
+				reject = fmt.Errorf("serve: image %q %w", it.ID, walrus.ErrDuplicateID)
+				break
+			}
+			own[it.ID] = true
+		}
+		if reject != nil {
+			c.m.coalesceRejects.Inc()
+			req.done <- reject
+			continue
+		}
+		for _, it := range req.items {
+			claimed[it.ID] = true
+		}
+		accepted = append(accepted, req)
+		items = append(items, req.items...)
+	}
+	if len(accepted) == 0 {
+		return
+	}
+	start := obs.Clock()
+	err := c.backend.AddBatch(items, c.workers)
+	c.m.coalesceFlushes.Inc()
+	c.m.coalesceBatch.Observe(float64(len(items)))
+	c.m.coalesceFlushSec.Observe(obs.Since(start).Seconds())
+	if err == nil {
+		c.m.coalescedWrites.Add(uint64(len(items)))
+	}
+	for _, req := range accepted {
+		req.done <- err
+	}
+}

@@ -1,0 +1,523 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"walrus"
+	"walrus/internal/imgio"
+	"walrus/internal/obs"
+	"walrus/internal/parallel"
+	"walrus/internal/region"
+)
+
+// Backend is the engine surface the server drives. Both *walrus.DB and
+// *walrus.Sharded satisfy it, so one server fronts either layout; Open
+// picks the right one from the on-disk format.
+type Backend interface {
+	AddBatch(items []walrus.BatchItem, workers int) error
+	Remove(id string) (bool, error)
+	QueryContext(ctx context.Context, im *imgio.Image, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
+	QueryByID(ctx context.Context, id string, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
+	QuerySceneContext(ctx context.Context, im *imgio.Image, x, y, w, h int, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
+	RegionsOf(id string) ([]region.Region, bool)
+	Len() int
+	NumRegions() int
+	Flush() error
+	Close() error
+}
+
+var (
+	_ Backend = (*walrus.DB)(nil)
+	_ Backend = (*walrus.Sharded)(nil)
+)
+
+// Open opens the database at dir, auto-detecting whether it is a
+// sharded or single-store layout.
+func Open(dir string) (Backend, error) {
+	if walrus.IsSharded(dir) {
+		return walrus.OpenSharded(dir)
+	}
+	return walrus.Open(dir)
+}
+
+// Config configures a Server. The zero value of every field except
+// Backend has a usable default.
+type Config struct {
+	// Backend is the database to serve. Required.
+	Backend Backend
+
+	// MaxConcurrentQueries bounds the requests executing at once
+	// (admission slots). 0 uses the machine's GOMAXPROCS.
+	MaxConcurrentQueries int
+	// QueueLimit bounds the requests waiting for a slot; beyond it
+	// requests are shed with 429. 0 uses 4× the slot count.
+	QueueLimit int
+	// RequestTimeout is the per-request deadline, propagated through the
+	// query pipeline. 0 uses 30s; negative disables deadlines.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses. 0 uses 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request body size. 0 uses 16 MiB.
+	MaxBodyBytes int64
+
+	// CoalesceMaxBatch is the most images one coalescer flush commits.
+	// 0 uses 64.
+	CoalesceMaxBatch int
+	// CoalesceMaxWait bounds how long the oldest pending write waits
+	// before a partial batch is flushed. 0 uses 2ms.
+	CoalesceMaxWait time.Duration
+	// IngestWorkers is the worker count passed to AddBatch for region
+	// extraction. 0 uses the backend's Parallelism option.
+	IngestWorkers int
+
+	// DefaultParams are the query parameters requests start from before
+	// applying their own overrides. Zero value uses DefaultQueryParams.
+	DefaultParams walrus.QueryParams
+
+	// Metrics, when non-nil, receives the walrus_serve_* instruments and
+	// has the internal/obs mux (/metrics, /debug/...) mounted on the
+	// server's own handler.
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives server-side error logs (e.g. response
+	// encode failures after the status line was sent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentQueries <= 0 {
+		c.MaxConcurrentQueries = parallel.Workers(0)
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 4 * c.MaxConcurrentQueries
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.CoalesceMaxBatch <= 0 {
+		c.CoalesceMaxBatch = 64
+	}
+	if c.CoalesceMaxWait <= 0 {
+		c.CoalesceMaxWait = 2 * time.Millisecond
+	}
+	if c.DefaultParams == (walrus.QueryParams{}) {
+		c.DefaultParams = walrus.DefaultQueryParams()
+	}
+	return c
+}
+
+// Server is the HTTP front-end. Create with New, serve with Serve or
+// ListenAndServe (or mount it anywhere as an http.Handler), stop with
+// Drain.
+type Server struct {
+	cfg     Config
+	backend Backend
+	adm     *admission
+	coal    *coalescer
+	mux     *http.ServeMux
+	m       *metrics
+
+	draining atomic.Bool
+
+	mu sync.Mutex
+	hs *http.Server // the Serve/ListenAndServe server, for Drain's Shutdown
+}
+
+// New builds a Server over cfg.Backend. The caller owns nothing after
+// this: Drain flushes and closes the backend.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("serve: Config.Backend is required")
+	}
+	cfg = cfg.withDefaults()
+	m := newMetrics(cfg.Metrics)
+	s := &Server{
+		cfg:     cfg,
+		backend: cfg.Backend,
+		adm:     newAdmission(cfg.MaxConcurrentQueries, cfg.QueueLimit, m),
+		coal:    newCoalescer(cfg.Backend, cfg.CoalesceMaxBatch, cfg.CoalesceMaxWait, cfg.IngestWorkers, m),
+		mux:     http.NewServeMux(),
+		m:       m,
+	}
+	s.mux.HandleFunc("POST /v1/images", s.admitted(m.ingestRequests, s.handleIngest))
+	s.mux.HandleFunc("DELETE /v1/images/{id}", s.admitted(m.deleteRequests, s.handleDelete))
+	s.mux.HandleFunc("POST /v1/search", s.admitted(m.searchRequests, s.handleSearch))
+	s.mux.HandleFunc("GET /v1/search", s.admitted(m.searchRequests, s.handleSearch))
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	if cfg.Metrics != nil {
+		oh := obs.Handler(cfg.Metrics)
+		s.mux.Handle("GET /metrics", oh)
+		s.mux.Handle("GET /debug/", oh)
+	}
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Serve accepts connections on ln until Drain. It returns nil after a
+// graceful drain.
+func (s *Server) Serve(ln net.Listener) error {
+	hs := &http.Server{Handler: s}
+	s.mu.Lock()
+	s.hs = hs
+	s.mu.Unlock()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listening on %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Drain gracefully stops the server: new requests are refused (readyz
+// flips to 503, handlers answer 503), in-flight requests run to
+// completion — queries finish against their pinned snapshots, pending
+// writes are flushed and acknowledged — then the backend is flushed and
+// closed. An acknowledged write is therefore never lost: its AddBatch
+// committed before its 2xx, and the backend flush happens strictly
+// after the coalescer stops. ctx bounds the wait for in-flight
+// requests. Drain is idempotent; only the first call does the work.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.m.draining.Set(1)
+	s.m.drains.Inc()
+	s.mu.Lock()
+	hs := s.hs
+	s.mu.Unlock()
+	var firstErr error
+	if hs != nil {
+		if err := hs.Shutdown(ctx); err != nil {
+			firstErr = fmt.Errorf("serve: shutdown: %w", err)
+		}
+	}
+	s.coal.close()
+	if err := s.backend.Flush(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("serve: flushing backend: %w", err)
+	}
+	if err := s.backend.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("serve: closing backend: %w", err)
+	}
+	return firstErr
+}
+
+// admitted wraps a handler with the production envelope: drain check,
+// per-request deadline, admission control, and latency accounting.
+func (s *Server) admitted(reqs *obs.Counter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.fail(w, errDraining)
+			return
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if err := s.adm.acquire(r.Context()); err != nil {
+			s.fail(w, err)
+			return
+		}
+		defer s.adm.release()
+		reqs.Inc()
+		start := obs.Clock()
+		h(w, r)
+		s.m.requestSeconds.Observe(obs.Since(start).Seconds())
+	}
+}
+
+// ingestPayload is the JSON batch-ingest body: PPM bytes are base64 in
+// the wire form, decoded transparently by encoding/json.
+type ingestPayload struct {
+	Images []struct {
+		ID  string `json:"id"`
+		PPM []byte `json:"ppm"`
+	} `json:"images"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var items []walrus.BatchItem
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var payload ingestPayload
+		if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+			s.failStatus(w, http.StatusBadRequest, "decoding JSON body: "+err.Error())
+			return
+		}
+		if len(payload.Images) == 0 {
+			s.failStatus(w, http.StatusBadRequest, "empty image batch")
+			return
+		}
+		for _, img := range payload.Images {
+			if img.ID == "" {
+				s.failStatus(w, http.StatusBadRequest, "image with empty id")
+				return
+			}
+			im, err := imgio.DecodePPM(bytes.NewReader(img.PPM))
+			if err != nil {
+				s.failStatus(w, http.StatusBadRequest, fmt.Sprintf("image %q: %v", img.ID, err))
+				return
+			}
+			items = append(items, walrus.BatchItem{ID: img.ID, Image: im})
+		}
+	} else {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			s.failStatus(w, http.StatusBadRequest, "missing id parameter")
+			return
+		}
+		im, err := imgio.DecodePPM(r.Body)
+		if err != nil {
+			s.failStatus(w, http.StatusBadRequest, "decoding PPM body: "+err.Error())
+			return
+		}
+		items = []walrus.BatchItem{{ID: id, Image: im}}
+	}
+	if err := s.coal.add(coalesceReq{items: items, done: make(chan error, 1)}); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ids := make([]string, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]any{"added": len(ids), "ids": ids})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ok, err := s.backend.Remove(id)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if !ok {
+		s.fail(w, fmt.Errorf("serve: image %q: %w", id, walrus.ErrUnknownID))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"removed": id})
+}
+
+// matchResult is one search hit on the wire.
+type matchResult struct {
+	ID              string  `json:"id"`
+	Similarity      float64 `json:"similarity"`
+	MatchingRegions int     `json:"matching_regions"`
+}
+
+// searchResponse is the /v1/search reply.
+type searchResponse struct {
+	Matches []matchResult `json:"matches"`
+	Stats   struct {
+		QueryRegions     int     `json:"query_regions"`
+		RegionsRetrieved int     `json:"regions_retrieved"`
+		CandidateImages  int     `json:"candidate_images"`
+		ElapsedSeconds   float64 `json:"elapsed_seconds"`
+	} `json:"stats"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p := s.cfg.DefaultParams
+	var parseErr error
+	getFloat := func(key string, dst *float64) {
+		if v := q.Get(key); v != "" && parseErr == nil {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				parseErr = fmt.Errorf("bad %s=%q", key, v)
+				return
+			}
+			*dst = f
+		}
+	}
+	getFloat("epsilon", &p.Epsilon)
+	getFloat("tau", &p.Tau)
+	if q.Get("threshold") != "" { // alias for tau
+		getFloat("threshold", &p.Tau)
+	}
+	if v := q.Get("k"); v != "" && parseErr == nil {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 0 {
+			parseErr = fmt.Errorf("bad k=%q", v)
+		} else {
+			p.Limit = k
+		}
+	}
+	if v := q.Get("refine"); v != "" && parseErr == nil {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			parseErr = fmt.Errorf("bad refine=%q", v)
+		} else {
+			p.Refine = b
+		}
+	}
+	var rx, ry, rw, rh int
+	hasRegion := q.Get("region") != ""
+	if hasRegion && parseErr == nil {
+		if n, err := fmt.Sscanf(q.Get("region"), "%d,%d,%d,%d", &rx, &ry, &rw, &rh); err != nil || n != 4 {
+			parseErr = fmt.Errorf("bad region=%q (want x,y,w,h)", q.Get("region"))
+		}
+	}
+	if parseErr != nil {
+		s.failStatus(w, http.StatusBadRequest, parseErr.Error())
+		return
+	}
+
+	var (
+		matches []walrus.Match
+		stats   walrus.QueryStats
+		err     error
+	)
+	if id := q.Get("id"); id != "" {
+		if hasRegion {
+			s.failStatus(w, http.StatusBadRequest, "region= cannot be combined with id=")
+			return
+		}
+		matches, stats, err = s.backend.QueryByID(r.Context(), id, p)
+	} else {
+		if r.Method != http.MethodPost {
+			s.failStatus(w, http.StatusBadRequest, "GET search requires id=; POST a PPM body otherwise")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var im *imgio.Image
+		im, err = imgio.DecodePPM(r.Body)
+		if err != nil {
+			s.failStatus(w, http.StatusBadRequest, "decoding PPM body: "+err.Error())
+			return
+		}
+		if hasRegion {
+			matches, stats, err = s.backend.QuerySceneContext(r.Context(), im, rx, ry, rw, rh, p)
+		} else {
+			matches, stats, err = s.backend.QueryContext(r.Context(), im, p)
+		}
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := searchResponse{Matches: make([]matchResult, len(matches))}
+	for i, m := range matches {
+		resp.Matches[i] = matchResult{ID: m.ID, Similarity: m.Similarity, MatchingRegions: m.MatchingRegions}
+	}
+	resp.Stats.QueryRegions = stats.QueryRegions
+	resp.Stats.RegionsRetrieved = stats.RegionsRetrieved
+	resp.Stats.CandidateImages = stats.CandidateImages
+	resp.Stats.ElapsedSeconds = stats.Elapsed.Seconds()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the /v1/stats reply.
+type statsResponse struct {
+	Images         int      `json:"images"`
+	Regions        int      `json:"regions"`
+	Sharded        bool     `json:"sharded"`
+	Shards         int      `json:"shards,omitempty"`
+	Version        uint64   `json:"version,omitempty"`
+	VersionVector  []uint64 `json:"version_vector,omitempty"`
+	ActiveRequests int      `json:"active_requests"`
+	QueuedRequests int      `json:"queued_requests"`
+	Draining       bool     `json:"draining"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{
+		Images:         s.backend.Len(),
+		Regions:        s.backend.NumRegions(),
+		ActiveRequests: s.adm.running(),
+		QueuedRequests: s.adm.depth(),
+		Draining:       s.draining.Load(),
+	}
+	switch b := s.backend.(type) {
+	case *walrus.DB:
+		resp.Version = b.Version()
+	case *walrus.Sharded:
+		resp.Sharded = true
+		resp.Shards = b.Shards()
+		resp.VersionVector = b.VersionVector()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps engine and serving errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, walrus.ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, walrus.ErrUnknownID):
+		return http.StatusNotFound
+	case errors.Is(err, errSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	s.failStatus(w, status, err.Error())
+}
+
+func (s *Server) failStatus(w http.ResponseWriter, status int, msg string) {
+	s.m.requestErrors.Inc()
+	s.writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already on the wire: an encode failure here can
+	// only be logged, not turned into a different response.
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("serve: encoding response: %v", err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,6 +1,7 @@
 package walrus
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -58,9 +59,14 @@ func (s *Snapshot) extractStage(im *imgio.Image) ([]region.Region, error) {
 // its own slot and the slots are merged in query-region order by the
 // aggregate stage, which keeps pairsByImage — and therefore scores,
 // stats and rankings — identical to the serial query.
-func (s *Snapshot) probeStage(qRegions []region.Region, p QueryParams, workers int) ([][]probeHit, error) {
+func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p QueryParams, workers int) ([][]probeHit, error) {
 	perRegion := make([][]probeHit, len(qRegions))
 	err := parallel.ForErr(len(qRegions), workers, func(qi int) error {
+		// The deadline check rides each parallel task: a query whose
+		// context expires mid-probe stops fanning out more index work.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		qr := qRegions[qi]
 		probe := signatureRect(s.core.opts.UseBBox, qr).Expand(p.Epsilon)
 		entries, err := s.view.SearchAll(probe)
@@ -146,7 +152,7 @@ func aggregateStage(perRegion [][]probeHit) (map[int][]match.Pair, int) {
 // scored into fixed slots ordered by image index, so the result set is
 // schedule-independent. It returns matches with similarity >= p.Tau
 // sorted by decreasing similarity, capped at p.Limit.
-func (s *Snapshot) scoreStage(qRegions []region.Region, qArea int, pairsByImage map[int][]match.Pair, p QueryParams, workers int) ([]Match, error) {
+func (s *Snapshot) scoreStage(ctx context.Context, qRegions []region.Region, qArea int, pairsByImage map[int][]match.Pair, p QueryParams, workers int) ([]Match, error) {
 	candidates := make([]int, 0, len(pairsByImage))
 	for imgIdx := range pairsByImage {
 		candidates = append(candidates, imgIdx)
@@ -155,6 +161,9 @@ func (s *Snapshot) scoreStage(qRegions []region.Region, qArea int, pairsByImage 
 	scoreOpts := match.Options{Algorithm: p.Matcher, Denominator: p.Denominator}
 	scored := make([]match.Result, len(candidates))
 	err := parallel.ForErr(len(candidates), workers, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		imgIdx := candidates[i]
 		rec := s.core.images[imgIdx]
 		res, err := match.Score(qRegions, rec.Regions, pairsByImage[imgIdx], qArea, rec.W*rec.H, scoreOpts)
@@ -197,19 +206,60 @@ func (s *Snapshot) scoreStage(qRegions []region.Region, qArea int, pairsByImage 
 // issue several queries against one consistent state while writers
 // commit concurrently.
 func (s *Snapshot) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
+	return s.QueryContext(context.Background(), im, p)
+}
+
+// QueryContext is Query with a deadline: the context is checked between
+// pipeline stages and inside every per-region probe and per-candidate
+// score task, so a request whose deadline expires stops burning worker
+// slots mid-pipeline and returns the context's error. The snapshot is
+// unaffected — cancellation never tears published state.
+func (s *Snapshot) QueryContext(ctx context.Context, im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
 	start := statsClock()
 	if p.Epsilon < 0 {
 		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
 	}
 	qRegions, err := s.extractStage(im)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: statsSince(start)}
+	return s.finishQuery(ctx, qRegions, im.W*im.H, p, start, stats)
+}
+
+// QueryByID runs the staged pipeline using the stored regions of an
+// already-indexed image as the query, skipping extraction entirely: the
+// network front-end's "more like this" path. The id is resolved against
+// this snapshot's version; ErrUnknownID reports an absent (or removed)
+// id.
+func (s *Snapshot) QueryByID(ctx context.Context, id string, p QueryParams) ([]Match, QueryStats, error) {
+	start := statsClock()
+	if p.Epsilon < 0 {
+		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	idx, ok := s.core.byID[id]
+	if !ok {
+		return nil, QueryStats{}, fmt.Errorf("walrus: query image %q: %w", id, ErrUnknownID)
+	}
+	rec := s.core.images[idx]
+	stats := QueryStats{QueryRegions: len(rec.Regions), ExtractTime: statsSince(start)}
+	return s.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats)
+}
+
+// finishQuery is the shared probe→refine→aggregate→score tail of the
+// pipeline, entered with the query regions already in hand (extracted
+// from an image, or read back from the catalog for QueryByID).
+func (s *Snapshot) finishQuery(ctx context.Context, qRegions []region.Region, qArea int, p QueryParams, start time.Time, stats QueryStats) ([]Match, QueryStats, error) {
 	probeStart := statsClock()
 	workers := parallel.Workers(p.Parallelism)
 
-	perRegion, err := s.probeStage(qRegions, p, workers)
+	perRegion, err := s.probeStage(ctx, qRegions, p, workers)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -220,7 +270,7 @@ func (s *Snapshot) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, e
 	stats.ProbeTime = statsSince(probeStart)
 	scoreStart := statsClock()
 
-	matches, err := s.scoreStage(qRegions, im.W*im.H, pairsByImage, p, workers)
+	matches, err := s.scoreStage(ctx, qRegions, qArea, pairsByImage, p, workers)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -232,6 +282,11 @@ func (s *Snapshot) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, e
 
 // QueryScene is DB.QueryScene over this snapshot.
 func (s *Snapshot) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
+	return s.QuerySceneContext(context.Background(), im, x, y, w, h, p)
+}
+
+// QuerySceneContext is QueryScene with a deadline; see QueryContext.
+func (s *Snapshot) QuerySceneContext(ctx context.Context, im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
 	minW := s.core.opts.Region.MinWindow
 	if w < minW || h < minW {
 		return nil, QueryStats{}, fmt.Errorf("walrus: scene %dx%d smaller than the minimum window %d", w, h, minW)
@@ -243,7 +298,7 @@ func (s *Snapshot) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([
 	// Score by coverage of the scene alone: a target that contains the
 	// whole scene should score near 1 however large the target is.
 	p.Denominator = match.QueryOnly
-	return s.Query(crop, p)
+	return s.QueryContext(ctx, crop, p)
 }
 
 // observeQuery publishes one successful query into the registry: the

@@ -1,6 +1,8 @@
 package walrus
 
 import (
+	"context"
+
 	"walrus/internal/imgio"
 )
 
@@ -16,10 +18,15 @@ import (
 // The rectangle must be at least Options.Region.MinWindow pixels in each
 // dimension.
 func (db *DB) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
+	return db.QuerySceneContext(context.Background(), im, x, y, w, h, p)
+}
+
+// QuerySceneContext is QueryScene with a deadline; see DB.QueryContext.
+func (db *DB) QuerySceneContext(ctx context.Context, im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
 	s, err := db.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer s.Release()
-	return s.QueryScene(im, x, y, w, h, p)
+	return s.QuerySceneContext(ctx, im, x, y, w, h, p)
 }

@@ -1,6 +1,7 @@
 package walrus
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -461,9 +462,19 @@ func (ss *ShardedSnapshot) Stats() ShardedStats {
 // merged ranking is byte-identical to the single-shard one; the Limit
 // applies only after the merge.
 func (ss *ShardedSnapshot) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
+	return ss.QueryContext(context.Background(), im, p)
+}
+
+// QueryContext is Query with a deadline: the context rides into every
+// shard's probe and score stages, so an expired request stops fanning
+// out cross-shard work and returns the context's error.
+func (ss *ShardedSnapshot) QueryContext(ctx context.Context, im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
 	start := statsClock()
 	if p.Epsilon < 0 {
 		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
 	}
 	// Every shard carries the same extractor configuration, so shard 0's
 	// snapshot extracts for all of them.
@@ -472,13 +483,40 @@ func (ss *ShardedSnapshot) Query(im *imgio.Image, p QueryParams) ([]Match, Query
 		return nil, QueryStats{}, err
 	}
 	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: statsSince(start)}
+	return ss.finishQuery(ctx, qRegions, im.W*im.H, p, start, stats)
+}
+
+// QueryByID runs the pipeline using the stored regions of an indexed
+// image, read from its owning shard's pinned snapshot, as the query
+// against every shard; see Snapshot.QueryByID.
+func (ss *ShardedSnapshot) QueryByID(ctx context.Context, id string, p QueryParams) ([]Match, QueryStats, error) {
+	start := statsClock()
+	if p.Epsilon < 0 {
+		return nil, QueryStats{}, fmt.Errorf("walrus: negative epsilon %v", p.Epsilon)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	owner := ss.snaps[shardOf(id, len(ss.snaps))]
+	idx, ok := owner.core.byID[id]
+	if !ok {
+		return nil, QueryStats{}, fmt.Errorf("walrus: query image %q: %w", id, ErrUnknownID)
+	}
+	rec := owner.core.images[idx]
+	stats := QueryStats{QueryRegions: len(rec.Regions), ExtractTime: statsSince(start)}
+	return ss.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats)
+}
+
+// finishQuery fans the probe→refine→aggregate→score tail across every
+// pinned shard and merges the per-shard rankings.
+func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Region, qArea int, p QueryParams, start time.Time, stats QueryStats) ([]Match, QueryStats, error) {
 	probeStart := statsClock()
 	workers := parallel.Workers(p.Parallelism)
 
 	perShard := make([]map[int][]match.Pair, len(ss.snaps))
 	retrieved := make([]int, len(ss.snaps))
-	err = parallel.ForErr(len(ss.snaps), workers, func(i int) error {
-		perRegion, err := ss.snaps[i].probeStage(qRegions, p, workers)
+	err := parallel.ForErr(len(ss.snaps), workers, func(i int) error {
+		perRegion, err := ss.snaps[i].probeStage(ctx, qRegions, p, workers)
 		if err != nil {
 			return err
 		}
@@ -503,7 +541,7 @@ func (ss *ShardedSnapshot) Query(im *imgio.Image, p QueryParams) ([]Match, Query
 	sub.Limit = 0
 	perShardMatches := make([][]Match, len(ss.snaps))
 	err = parallel.ForErr(len(ss.snaps), workers, func(i int) error {
-		m, err := ss.snaps[i].scoreStage(qRegions, im.W*im.H, perShard[i], sub, workers)
+		m, err := ss.snaps[i].scoreStage(ctx, qRegions, qArea, perShard[i], sub, workers)
 		if err != nil {
 			return err
 		}
@@ -522,6 +560,11 @@ func (ss *ShardedSnapshot) Query(im *imgio.Image, p QueryParams) ([]Match, Query
 
 // QueryScene is DB.QueryScene across the sharded snapshot.
 func (ss *ShardedSnapshot) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
+	return ss.QuerySceneContext(context.Background(), im, x, y, w, h, p)
+}
+
+// QuerySceneContext is QueryScene with a deadline; see QueryContext.
+func (ss *ShardedSnapshot) QuerySceneContext(ctx context.Context, im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
 	minW := ss.snaps[0].Options().Region.MinWindow
 	if w < minW || h < minW {
 		return nil, QueryStats{}, fmt.Errorf("walrus: scene %dx%d smaller than the minimum window %d", w, h, minW)
@@ -531,7 +574,7 @@ func (ss *ShardedSnapshot) QueryScene(im *imgio.Image, x, y, w, h int, p QueryPa
 		return nil, QueryStats{}, fmt.Errorf("walrus: cropping scene: %w", err)
 	}
 	p.Denominator = match.QueryOnly
-	return ss.Query(crop, p)
+	return ss.QueryContext(ctx, crop, p)
 }
 
 // mergeMatches concatenates per-shard rankings and re-sorts by the
@@ -591,22 +634,43 @@ func (ss *ShardedSnapshot) observeQuery(start, probeStart, scoreStart time.Time,
 // Query runs one query against a snapshot of the whole fleet; see
 // ShardedSnapshot.Query.
 func (s *Sharded) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
+	return s.QueryContext(context.Background(), im, p)
+}
+
+// QueryContext is Query with a deadline; see ShardedSnapshot.QueryContext.
+func (s *Sharded) QueryContext(ctx context.Context, im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
 	ss, err := s.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer ss.Release()
-	return ss.Query(im, p)
+	return ss.QueryContext(ctx, im, p)
+}
+
+// QueryByID queries by the stored regions of an indexed image; see
+// ShardedSnapshot.QueryByID.
+func (s *Sharded) QueryByID(ctx context.Context, id string, p QueryParams) ([]Match, QueryStats, error) {
+	ss, err := s.Snapshot()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer ss.Release()
+	return ss.QueryByID(ctx, id, p)
 }
 
 // QueryScene is DB.QueryScene for a sharded database.
 func (s *Sharded) QueryScene(im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
+	return s.QuerySceneContext(context.Background(), im, x, y, w, h, p)
+}
+
+// QuerySceneContext is QueryScene with a deadline.
+func (s *Sharded) QuerySceneContext(ctx context.Context, im *imgio.Image, x, y, w, h int, p QueryParams) ([]Match, QueryStats, error) {
 	ss, err := s.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer ss.Release()
-	return ss.QueryScene(im, x, y, w, h, p)
+	return ss.QuerySceneContext(ctx, im, x, y, w, h, p)
 }
 
 // Len returns the number of indexed images across all shards, read from

@@ -22,6 +22,8 @@
 package walrus
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -35,6 +37,15 @@ import (
 	"walrus/internal/rstar"
 	"walrus/internal/store"
 )
+
+// ErrDuplicateID reports an Add (or AddBatch item) whose id is already
+// indexed. It is wrapped in the returned error, so callers classify with
+// errors.Is — the HTTP front-end maps it to 409 Conflict.
+var ErrDuplicateID = errors.New("already indexed")
+
+// ErrUnknownID reports a QueryByID against an id the queried snapshot
+// does not contain. The HTTP front-end maps it to 404 Not Found.
+var ErrUnknownID = errors.New("unknown image id")
 
 // Options configures a DB at creation time.
 type Options struct {
@@ -333,12 +344,31 @@ func (db *DB) Add(id string, im *imgio.Image) error {
 // whole query — extraction included — runs against one snapshot of the
 // database, unaffected by concurrent writers.
 func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
+	return db.QueryContext(context.Background(), im, p)
+}
+
+// QueryContext is Query with a deadline: the context is checked between
+// pipeline stages and inside the parallel probe/score tasks, so an
+// expired request stops consuming worker slots and returns the context's
+// error.
+func (db *DB) QueryContext(ctx context.Context, im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
 	s, err := db.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer s.Release()
-	return s.Query(im, p)
+	return s.QueryContext(ctx, im, p)
+}
+
+// QueryByID runs a query using the stored regions of an already-indexed
+// image, skipping extraction; see Snapshot.QueryByID.
+func (db *DB) QueryByID(ctx context.Context, id string, p QueryParams) ([]Match, QueryStats, error) {
+	s, err := db.Snapshot()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer s.Release()
+	return s.QueryByID(ctx, id, p)
 }
 
 // Remove deletes an image and its regions from the database. It reports
