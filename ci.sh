@@ -1,88 +1,110 @@
 #!/bin/sh
-# CI gate for the WALRUS repo. Tiers:
-#   1. formatting + static analysis (gofmt, go vet, walrus-lint — the
-#      repo's own analyzers: determinism, errsink, lockdiscipline, obs,
-#      parallelconv, snapshotsafe; see DESIGN.md "Static analysis")
-#   2. build
-#   3. race tier: go test -race -short — runs the concurrency stress
+# CI gate for the WALRUS repo. Tiers (each prints its wall time; the
+# script aborts at the first failing tier, so the cheap static tiers
+# gate the expensive race tiers):
+#   0. build — a compile error should read as a compile error, not as a
+#      lint loader failure, so the build gates everything
+#   0. formatting + static analysis (gofmt, go vet, walrus-lint — the
+#      repo's own analyzers: ctxflow, determinism, errsink, goroleak,
+#      hotalloc, lockdiscipline, obs, parallelconv, snapshotsafe; see
+#      DESIGN.md "Static analysis"). walrus-lint runs with its
+#      per-package result cache and subtracts the checked-in
+#      .walrus-lint-baseline, so only new findings fail
+#   1. race tier: go test -race -short — runs the concurrency stress
 #      tests (mixed Add/Query/Remove) under the race detector on every PR
-#   3b. obs tier: scrapes the live /metrics endpoint while the
+#   1b. obs tier: scrapes the live /metrics endpoint while the
 #      Add/Query/Remove stress runs and fails on malformed Prometheus
 #      text or expvar JSON (TestObsScrapeUnderLoad + the exposition
 #      validator's own tests)
-#   3c. snapshot tier: stresses snapshot acquire/release against
+#   1c. snapshot tier: stresses snapshot acquire/release against
 #      concurrent publication under the race detector and fails if the
 #      active-snapshots gauge does not drain to zero (pin leak) or a
 #      pinned version tears
-#   3d. shard tier: runs the shard-count determinism matrix (every shard
+#   1d. shard tier: runs the shard-count determinism matrix (every shard
 #      count must reproduce the shards=1 oracle byte-for-byte), the
 #      per-shard crash matrix and the cross-shard fan-out oracle under
 #      the race detector
-#   3e. serve tier: exercises the HTTP front-end under the race detector
+#   1e. serve tier: exercises the HTTP front-end under the race detector
 #      — handler contracts, admission saturation (429 + gauges draining
 #      to zero), coalescer version atomicity, and the graceful-drain
-#      no-acked-write-lost proof against a live listener. The load
-#      harness itself runs via `walrus-bench -exp serve` and writes
-#      BENCH_serve.json; it is not part of the CI gate.
-#   4. full test suite
-#   5. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
+#      no-acked-write-lost proof (plain and sharded backends) against a
+#      live listener. The load harness itself runs via `walrus-bench
+#      -exp serve` and writes BENCH_serve.json; it is not part of the
+#      CI gate.
+#   2. full test suite
+#   3. vulnerability scan (default, non-fatal): govulncheck runs on
+#      every CI pass when available, installing a pinned version into
+#      the local GOPATH when missing; findings and install failures are
+#      reported but never fail the gate (WALRUS_CI_VULN=0 disables)
+#   4. fuzz smoke (opt-in): WALRUS_CI_FUZZ=1 ./ci.sh runs each fuzz
 #      target (PPM decoder, WAL replay) for a few seconds of random input
 #      on top of their always-on seed corpora
-#   6. vulnerability scan (opt-in): WALRUS_CI_VULN=1 ./ci.sh runs
-#      govulncheck when the tool is installed, and skips gracefully when
-#      it is not
 set -eu
 cd "$(dirname "$0")"
 
-echo "== tier 0: gofmt =="
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$unformatted" >&2
-    exit 1
+# tier NAME CMD...: announce the tier, run it (aborting the script on
+# failure via set -e), and print its wall time.
+tier() {
+    _name="$1"
+    shift
+    echo "== $_name =="
+    _start=$(date +%s)
+    "$@"
+    echo "-- $_name: $(($(date +%s) - _start))s"
+}
+
+check_gofmt() {
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$unformatted" >&2
+        return 1
+    fi
+}
+
+run_vuln() {
+    # Non-fatal by design: a scan finding (or a sandboxed CI host with no
+    # network to install the tool) must not mask a red/green signal on
+    # the code itself.
+    vulncheck="$(command -v govulncheck || true)"
+    if [ -z "$vulncheck" ]; then
+        gobin="$(go env GOPATH)/bin"
+        echo "govulncheck not installed; installing pinned version..."
+        if go install golang.org/x/vuln/cmd/govulncheck@v1.1.4 2>/dev/null; then
+            vulncheck="$gobin/govulncheck"
+        else
+            echo "govulncheck install failed (offline?); skipping scan"
+            return 0
+        fi
+    fi
+    if "$vulncheck" ./...; then
+        echo "govulncheck: no known vulnerabilities"
+    else
+        echo "govulncheck reported findings (non-fatal; inspect above)"
+    fi
+}
+
+tier "tier 0: build" go build ./...
+tier "tier 0: gofmt" check_gofmt
+tier "tier 0: go vet" go vet ./...
+tier "tier 0: walrus-lint" go run ./cmd/walrus-lint -v ./...
+
+tier "tier 1: race (short)" go test -race -short ./...
+tier "tier 1: obs scrape during stress" go test -race -count=1 -run 'TestObsScrapeUnderLoad|TestObsCountDeterminism' .
+tier "tier 1: obs exposition validators" go test -count=1 -run 'TestPrometheusOutputValidates|TestValidatePrometheusRejectsMalformed|TestHandlerEndpoints' ./internal/obs
+tier "tier 1: snapshot (acquire/release vs publish, leak check)" go test -race -count=1 -run 'TestSnapshot' .
+tier "tier 1: shard (determinism matrix, crash recovery, fan-out oracle)" go test -race -count=1 -run 'TestShard' .
+tier "tier 1: serve (handlers, admission, coalescing, graceful drain)" go test -race -count=1 -run 'TestServe' ./...
+
+tier "tier 2: full tests" go test ./...
+
+if [ "${WALRUS_CI_VULN:-1}" = "1" ]; then
+    tier "tier 3: govulncheck (non-fatal)" run_vuln
 fi
-
-echo "== tier 0: go vet =="
-go vet ./...
-
-echo "== tier 0: walrus-lint =="
-go run ./cmd/walrus-lint ./...
-
-echo "== tier 1: build =="
-go build ./...
-
-echo "== tier 1: race (short) =="
-go test -race -short ./...
-
-echo "== tier 1: obs (scrape during stress) =="
-go test -race -count=1 -run 'TestObsScrapeUnderLoad|TestObsCountDeterminism' .
-go test -count=1 -run 'TestPrometheusOutputValidates|TestValidatePrometheusRejectsMalformed|TestHandlerEndpoints' ./internal/obs
-
-echo "== tier 1: snapshot (acquire/release vs publish, leak check) =="
-go test -race -count=1 -run 'TestSnapshot' .
-
-echo "== tier 1: shard (determinism matrix, per-shard crash recovery, fan-out oracle) =="
-go test -race -count=1 -run 'TestShard' .
-
-echo "== tier 1: serve (handlers, admission, coalescing, graceful drain) =="
-go test -race -count=1 -run 'TestServe' ./...
-
-echo "== tier 1: full tests =="
-go test ./...
 
 if [ "${WALRUS_CI_FUZZ:-0}" = "1" ]; then
-    echo "== tier 2: fuzz smoke =="
-    go test -fuzz FuzzDecodePPM -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/imgio
-    go test -fuzz FuzzReplayWAL -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/wal
-fi
-
-if [ "${WALRUS_CI_VULN:-0}" = "1" ]; then
-    echo "== tier 2: govulncheck =="
-    if command -v govulncheck >/dev/null 2>&1; then
-        govulncheck ./...
-    else
-        echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
-    fi
+    tier "tier 4: fuzz smoke (imgio)" go test -fuzz FuzzDecodePPM -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/imgio
+    tier "tier 4: fuzz smoke (wal)" go test -fuzz FuzzReplayWAL -fuzztime "${WALRUS_CI_FUZZTIME:-10s}" ./internal/wal
 fi
 
 echo "CI OK"

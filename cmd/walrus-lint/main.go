@@ -1,20 +1,29 @@
 // Command walrus-lint runs the repository's custom static analyzers
-// (determinism, errsink, lockdiscipline, parallelconv, snapshotsafe)
-// over the module.
+// (ctxflow, determinism, errsink, goroleak, hotalloc, lockdiscipline,
+// obs, parallelconv, snapshotsafe) over the module.
 //
 // Usage:
 //
-//	walrus-lint [-json] [-only analyzer[,analyzer]] [packages]
+//	walrus-lint [flags] [packages]
 //
-// With no package patterns it analyzes ./.... Exit status is 0 when the
-// tree is clean, 1 when diagnostics were reported, and 2 on usage or
-// load errors.
+// With no package patterns it analyzes ./.... Packages are analyzed in
+// parallel, and results are cached per package in .walrus-lint-cache at
+// the module root (keyed by source and dependency content hashes) so a
+// warm run skips type-checking unchanged packages; -no-cache disables
+// the cache and -cache-path moves it. Findings listed in the baseline
+// file (-baseline, default .walrus-lint-baseline at the module root if
+// present) are tracked but not fatal; -write-baseline regenerates it
+// from the current findings. Exit status is 0 when the tree is clean
+// (after baseline subtraction), 1 when diagnostics were reported, and 2
+// on usage or load errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"walrus/internal/lint"
@@ -27,9 +36,20 @@ func main() {
 func run() int {
 	flags := flag.NewFlagSet("walrus-lint", flag.ContinueOnError)
 	jsonOut := flags.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := flags.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	only := flags.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flags.Bool("list", false, "list the available analyzers and exit")
+	verbose := flags.Bool("v", false, "print per-analyzer timing and cache statistics to stderr")
+	jobs := flags.Int("jobs", 0, "packages analyzed in parallel (0 = GOMAXPROCS)")
+	noCache := flags.Bool("no-cache", false, "disable the per-package result cache")
+	cachePath := flags.String("cache-path", "", "result cache file (default: .walrus-lint-cache at the module root)")
+	baselinePath := flags.String("baseline", "", "baseline file of tracked-but-not-fatal findings (default: .walrus-lint-baseline at the module root, if present)")
+	writeBaseline := flags.Bool("write-baseline", false, "write the current findings to the baseline file and exit")
 	if err := flags.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "walrus-lint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -67,19 +87,72 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "walrus-lint: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.Load(flags.Args()...)
+
+	opts := lint.RunOptions{Jobs: *jobs, Timings: *verbose}
+	if !*noCache {
+		opts.CachePath = *cachePath
+		if opts.CachePath == "" {
+			opts.CachePath = filepath.Join(loader.ModRoot, ".walrus-lint-cache")
+		}
+	}
+	diags, stats, err := lint.RunModule(loader, flags.Args(), analyzers, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "walrus-lint: %v\n", err)
 		return 2
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "walrus-lint: %d packages, %d cached, %d analyzed in %v\n",
+			stats.Packages, stats.CacheHits, stats.CacheMisses, stats.Elapsed.Round(1e6))
+		names := make([]string, 0, len(stats.Analyzers))
+		for name := range stats.Analyzers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "walrus-lint:   %-16s %v\n", name, stats.Analyzers[name].Round(1e3))
+		}
+	}
 
-	diags := lint.Run(pkgs, analyzers)
-	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+	blPath := *baselinePath
+	if blPath == "" {
+		blPath = filepath.Join(loader.ModRoot, ".walrus-lint-baseline")
+	}
+	if *writeBaseline {
+		f, err := os.Create(blPath)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "walrus-lint: %v\n", err)
 			return 2
 		}
-	} else if err := lint.WriteText(os.Stdout, loader.ModRoot, diags); err != nil {
+		werr := lint.WriteBaseline(f, loader.ModRoot, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "walrus-lint: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "walrus-lint: wrote %d findings to %s\n", len(diags), blPath)
+		return 0
+	}
+	baseline, err := lint.LoadBaseline(blPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "walrus-lint: %v\n", err)
+		return 2
+	}
+	diags, absorbed := baseline.Apply(loader.ModRoot, diags)
+	if *verbose && absorbed > 0 {
+		fmt.Fprintf(os.Stderr, "walrus-lint: %d findings absorbed by baseline %s\n", absorbed, blPath)
+	}
+
+	switch {
+	case *jsonOut:
+		err = lint.WriteJSON(os.Stdout, diags)
+	case *sarifOut:
+		err = lint.WriteSARIF(os.Stdout, loader.ModRoot, analyzers, diags)
+	default:
+		err = lint.WriteText(os.Stdout, loader.ModRoot, diags)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "walrus-lint: %v\n", err)
 		return 2
 	}

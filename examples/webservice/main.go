@@ -75,10 +75,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		serveErr := make(chan error, 1)
 		go func() {
-			if err := srv.Serve(ln); err != nil {
-				log.Fatal(err)
-			}
+			serveErr <- srv.Serve(ln)
 		}()
 		base := "http://" + ln.Addr().String()
 		for _, url := range []string{
@@ -102,6 +101,9 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Drain(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if err := <-serveErr; err != nil {
 			log.Fatal(err)
 		}
 		return

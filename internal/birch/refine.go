@@ -1,3 +1,4 @@
+//walrus:lint-hot cluster refinement runs per extraction pass
 package birch
 
 import "math"

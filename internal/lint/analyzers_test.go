@@ -24,6 +24,46 @@ func TestErrSinkFixture(t *testing.T) {
 	runFixture(t, "errsinkfix", ErrSink)
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, "ctxfix", CtxFlow)
+}
+
+// TestCtxFlowScoping proves ctxflow stays silent for packages outside
+// the request path that have not opted in (determnoscope has no scope
+// directive for it).
+func TestCtxFlowScoping(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir("testdata/src/determnoscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{CtxFlow}); len(diags) != 0 {
+		t.Errorf("ctxflow fired outside its scope:\n%s", fmtDiags(diags))
+	}
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, "gorofix", GoroLeak)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, "hotfix", HotAlloc)
+}
+
+// TestHotAllocScoping proves hotalloc only fires in files carrying the
+// //walrus:lint-hot directive: a package with none is silent even when
+// it allocates in loops.
+func TestHotAllocScoping(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir("testdata/src/determnoscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{HotAlloc}); len(diags) != 0 {
+		t.Errorf("hotalloc fired without a lint-hot directive:\n%s", fmtDiags(diags))
+	}
+}
+
 func TestLockDisciplineFixture(t *testing.T) {
 	runFixture(t, "lockfix", LockDiscipline)
 }
@@ -87,7 +127,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"determinism", "errsink", "lockdiscipline", "obs", "parallelconv", "snapshotsafe"} {
+	for _, want := range []string{"ctxflow", "determinism", "errsink", "goroleak", "hotalloc", "lockdiscipline", "obs", "parallelconv", "snapshotsafe"} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}

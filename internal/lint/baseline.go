@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the tracked-but-not-fatal debt ledger behind
+// `.walrus-lint-baseline`: a multiset of findings (keyed by file,
+// analyzer, and message — never by line, so unrelated edits to a hot
+// file don't invalidate it) that the driver subtracts before failing.
+// hotalloc uses it to record the pre-raw-speed-pass allocation debt;
+// burning an entry down means deleting its line from the file.
+type Baseline map[string]int
+
+// baselineKey is the multiset key of one diagnostic: tab-separated
+// module-relative slash path, analyzer, and message.
+func baselineKey(root string, d Diagnostic) string {
+	file := d.File
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		file = filepath.ToSlash(rel)
+	}
+	return file + "\t" + d.Analyzer + "\t" + d.Message
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline. Blank lines and #-comments are skipped.
+func LoadBaseline(path string) (Baseline, error) {
+	b := make(Baseline)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") < 2 {
+			return nil, fmt.Errorf("lint: malformed baseline line %q: want file\tanalyzer\tmessage", line)
+		}
+		b[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Apply subtracts baselined findings from diags and returns the
+// survivors plus the number of findings the baseline absorbed. The
+// baseline is a multiset: two identical findings need two entries.
+func (b Baseline) Apply(root string, diags []Diagnostic) (kept []Diagnostic, absorbed int) {
+	remaining := make(Baseline, len(b))
+	for k, n := range b {
+		remaining[k] = n
+	}
+	kept = make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		k := baselineKey(root, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			absorbed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, absorbed
+}
+
+// WriteBaseline writes diags in baseline format, sorted, one finding
+// per line, with a header explaining the workflow.
+func WriteBaseline(w io.Writer, root string, diags []Diagnostic) error {
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = baselineKey(root, d)
+	}
+	sort.Strings(lines)
+	if _, err := fmt.Fprintf(w, "# walrus-lint baseline: tracked-but-not-fatal findings (file\\tanalyzer\\tmessage).\n# Regenerate with `walrus-lint -write-baseline`; burn debt down by deleting lines.\n"); err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// cacheSchema versions the cache file format and the analysis semantics
+// it captures. Bump it when the stored shape or the meaning of a key
+// changes; old caches then miss cleanly instead of replaying stale
+// diagnostics.
+const cacheSchema = 2
+
+// Cache is the on-disk result cache behind `.walrus-lint-cache`: one
+// entry per package, keyed by a content hash of everything the
+// package's diagnostics depend on. A hit skips type-checking and
+// analysis entirely, which is where the warm-run speedup comes from.
+//
+// Stored file paths are module-root-relative so the cache survives a
+// checkout moving; Get rewrites them back to absolute paths.
+type Cache struct {
+	path    string
+	modRoot string
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry // import path -> entry
+	dirty   bool
+}
+
+type cacheEntry struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags"`
+}
+
+type cacheFile struct {
+	Schema  int                   `json:"schema"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// OpenCache loads the cache at path (module-root-relative diagnostics
+// resolve against modRoot). A missing, unreadable, or schema-mismatched
+// file yields an empty cache — the cache is an accelerator, never a
+// correctness dependency.
+func OpenCache(path, modRoot string) *Cache {
+	c := &Cache{path: path, modRoot: modRoot, entries: make(map[string]cacheEntry)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var cf cacheFile
+	if json.Unmarshal(data, &cf) != nil || cf.Schema != cacheSchema || cf.Entries == nil {
+		return c
+	}
+	c.entries = cf.Entries
+	return c
+}
+
+// Get returns the cached diagnostics for the import path if its stored
+// key matches, with file paths rewritten to absolute.
+func (c *Cache) Get(importPath, key string) ([]Diagnostic, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[importPath]
+	c.mu.Unlock()
+	if !ok || e.Key != key {
+		return nil, false
+	}
+	out := make([]Diagnostic, len(e.Diags))
+	for i, d := range e.Diags {
+		if !filepath.IsAbs(d.File) {
+			d.File = filepath.Join(c.modRoot, filepath.FromSlash(d.File))
+		}
+		out[i] = d
+	}
+	return out, true
+}
+
+// Put records the diagnostics for the import path under key, with file
+// paths stored module-root-relative.
+func (c *Cache) Put(importPath, key string, diags []Diagnostic) {
+	stored := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(c.modRoot, d.File); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			d.File = filepath.ToSlash(rel)
+		}
+		stored[i] = d
+	}
+	c.mu.Lock()
+	c.entries[importPath] = cacheEntry{Key: key, Diags: stored}
+	c.dirty = true
+	c.mu.Unlock()
+}
+
+// Save writes the cache back to disk atomically (temp file + rename).
+// A clean cache with no new entries is left untouched.
+func (c *Cache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	data, err := json.MarshalIndent(cacheFile{Schema: cacheSchema, Entries: c.entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".walrus-lint-cache-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.dirty = false
+	return nil
+}
+
+// keyer computes cache keys for listed packages without compiling
+// anything. A key covers everything a package's diagnostics depend on:
+// the cache schema, the toolchain version (which pins the stdlib —
+// upgrading go invalidates everything), the analyzer set, and the
+// source bytes of the package plus its transitive module-internal
+// dependencies. Hashing sources directly, instead of export-data file
+// paths, is what lets the warm path skip `go list -export` — the
+// dominant cost of a warm run.
+type keyer struct {
+	module map[string]*listedPackage // module-internal packages by import path
+
+	mu     sync.Mutex
+	hashes map[string]string // import path -> memoized source hash
+}
+
+func newKeyer(index map[string]*listedPackage) *keyer {
+	return &keyer{module: index, hashes: make(map[string]string)}
+}
+
+// sourceHash hashes one package's non-test source files (memoized; safe
+// for concurrent use from the parallel driver).
+func (k *keyer) sourceHash(lp *listedPackage) (string, error) {
+	k.mu.Lock()
+	sum, ok := k.hashes[lp.ImportPath]
+	k.mu.Unlock()
+	if ok {
+		return sum, nil
+	}
+	h := sha256.New()
+	for _, name := range lp.GoFiles {
+		data, err := os.ReadFile(filepath.Join(lp.Dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %x\n", name, sha256.Sum256(data))
+	}
+	sum = hex.EncodeToString(h.Sum(nil))
+	k.mu.Lock()
+	k.hashes[lp.ImportPath] = sum
+	k.mu.Unlock()
+	return sum, nil
+}
+
+// closure returns the sorted import paths of lp's module-internal
+// transitive dependency closure, including lp itself. Stdlib imports
+// are excluded — the toolchain version line in the key covers them.
+func (k *keyer) closure(lp *listedPackage) []string {
+	seen := map[string]bool{lp.ImportPath: true}
+	stack := []string{lp.ImportPath}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		dep := k.module[p]
+		if dep == nil {
+			continue
+		}
+		for _, imp := range dep.Imports {
+			if !seen[imp] && k.module[imp] != nil {
+				seen[imp] = true
+				stack = append(stack, imp)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// key returns the cache key for one package under the given analyzer
+// set.
+func (k *keyer) key(lp *listedPackage, analyzers []*Analyzer) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema %d\n", cacheSchema)
+	fmt.Fprintf(h, "go %s\n", runtime.Version())
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	fmt.Fprintf(h, "analyzers %v\n", names)
+	fmt.Fprintf(h, "package %s\n", lp.ImportPath)
+	for _, p := range k.closure(lp) {
+		sum, err := k.sourceHash(k.module[p])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "pkg %s %s\n", p, sum)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

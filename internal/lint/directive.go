@@ -10,13 +10,16 @@ import (
 //
 //	//walrus:lint-ignore <analyzer> <reason...>   suppress a diagnostic
 //	//walrus:lint-scope <analyzer>                opt the package into scope
+//	//walrus:lint-hot [note...]                   mark the file as a hot path
 //
 // An ignore applies to diagnostics of the named analyzer on the
 // directive's own line (trailing comment) or the line immediately below
 // (standalone comment). The reason is mandatory — Run reports ignores
-// without one, and they suppress nothing.
+// without one, and they suppress nothing. A hot directive marks its
+// whole file as allocation-sensitive: the hotalloc analyzer checks the
+// loops of hot files only.
 type Directive struct {
-	Kind     string // "ignore" or "scope"
+	Kind     string // "ignore", "scope", or "hot"
 	Analyzer string
 	Reason   string
 	File     string
@@ -27,6 +30,7 @@ type Directive struct {
 const (
 	ignoreMarker = "//walrus:lint-ignore"
 	scopeMarker  = "//walrus:lint-scope"
+	hotMarker    = "//walrus:lint-hot"
 )
 
 // parseDirectives extracts the lint directives from one parsed file.
@@ -38,6 +42,8 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []Directive {
 			switch {
 			case strings.HasPrefix(c.Text, ignoreMarker):
 				kind, rest = "ignore", c.Text[len(ignoreMarker):]
+			case strings.HasPrefix(c.Text, hotMarker):
+				kind, rest = "hot", c.Text[len(hotMarker):]
 			case strings.HasPrefix(c.Text, scopeMarker):
 				kind, rest = "scope", c.Text[len(scopeMarker):]
 			default:
@@ -45,6 +51,12 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []Directive {
 			}
 			pos := fset.Position(c.Pos())
 			d := Directive{Kind: kind, File: pos.Filename, Line: pos.Line, Col: pos.Column}
+			if kind == "hot" {
+				// A hot mark names no analyzer; any trailing text is a note.
+				d.Reason = strings.TrimSpace(rest)
+				out = append(out, d)
+				continue
+			}
 			fields := strings.Fields(rest)
 			if len(fields) > 0 {
 				d.Analyzer = fields[0]

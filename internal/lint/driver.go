@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"sync"
+	"time"
+
+	"walrus/internal/parallel"
+)
+
+// timingSink accumulates per-analyzer wall time across packages. A nil
+// sink discards everything, so analyzePackage can time unconditionally.
+type timingSink struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+func (t *timingSink) add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]time.Duration)
+	}
+	t.m[name] += d
+}
+
+// RunOptions configures a cache-aware module-wide lint run.
+type RunOptions struct {
+	// Jobs is the number of packages analyzed concurrently; <= 0 means
+	// GOMAXPROCS.
+	Jobs int
+	// CachePath names the result-cache file; empty disables caching.
+	CachePath string
+	// Timings enables per-analyzer wall-time accounting (reported in
+	// RunStats.Analyzers; cache hits contribute nothing — they run no
+	// analyzer).
+	Timings bool
+}
+
+// RunStats reports what a RunModule call did, for -v output and the
+// cache tests.
+type RunStats struct {
+	Packages    int
+	CacheHits   int
+	CacheMisses int
+	// Analyzers maps analyzer name to accumulated wall time across all
+	// analyzed (non-cached) packages; nil unless Timings was set.
+	Analyzers map[string]time.Duration
+	Elapsed   time.Duration
+}
+
+// RunModule lints the module packages matching patterns, analyzing
+// packages in parallel and consulting the result cache so unchanged
+// packages skip type-checking entirely. Directive hygiene and
+// //walrus:lint-ignore suppression are package-local (see
+// analyzePackage), which is what makes per-package caching sound.
+func RunModule(l *Loader, patterns []string, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, *RunStats, error) {
+	start := time.Now()
+	stats := &RunStats{}
+	listed, index, err := l.List(patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Packages = len(listed)
+
+	var cache *Cache
+	if opts.CachePath != "" {
+		cache = OpenCache(opts.CachePath, l.ModRoot)
+	}
+	var timings *timingSink
+	if opts.Timings {
+		timings = &timingSink{}
+	}
+
+	// Pass 1: compute keys and probe the cache. No compilation happens
+	// here — keys hash sources directly — so a fully warm run never pays
+	// for `go list -export`.
+	kyr := newKeyer(index)
+	perPkg := make([][]Diagnostic, len(listed))
+	keys := make([]string, len(listed))
+	hits := make([]bool, len(listed))
+	errs := make([]error, len(listed))
+	if cache != nil {
+		parallel.For(len(listed), opts.Jobs, func(i int) {
+			lp := listed[i]
+			key, err := kyr.key(lp, analyzers)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			keys[i] = key
+			if diags, ok := cache.Get(lp.ImportPath, key); ok {
+				perPkg[i] = diags
+				hits[i] = true
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Pass 2: resolve export data for the misses in one `go list
+	// -export` invocation, then type-check and analyze them in parallel.
+	var missPaths []string
+	for i, lp := range listed {
+		if !hits[i] {
+			missPaths = append(missPaths, lp.ImportPath)
+		}
+	}
+	if err := l.ensureExports(missPaths); err != nil {
+		return nil, nil, err
+	}
+	parallel.For(len(listed), opts.Jobs, func(i int) {
+		if hits[i] {
+			return
+		}
+		lp := listed[i]
+		pkg, err := l.loadFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		diags := analyzePackage(pkg, analyzers, timings)
+		perPkg[i] = diags
+		if cache != nil {
+			cache.Put(lp.ImportPath, keys[i], diags)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var diags []Diagnostic
+	for i := range perPkg {
+		diags = append(diags, perPkg[i]...)
+		if hits[i] {
+			stats.CacheHits++
+		} else {
+			stats.CacheMisses++
+		}
+	}
+	sortDiagnostics(diags)
+
+	if cache != nil {
+		if err := cache.Save(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if timings != nil {
+		stats.Analyzers = timings.m
+	}
+	stats.Elapsed = time.Since(start)
+	return diags, stats, nil
+}

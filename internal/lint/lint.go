@@ -5,11 +5,23 @@
 // analyzers that machine-check the contracts the test suite can only
 // sample:
 //
+//   - ctxflow: request-path packages must propagate their
+//     context.Context — no context.Background()/TODO() where a caller's
+//     ctx is in scope, no exported entry points that take a ctx and never
+//     consult it, no worker-pool fan-out that an expired deadline cannot
+//     stop.
 //   - determinism: the signature-extraction pipeline must be bit-exact
 //     reproducible — no wall-clock reads, no global math/rand, no
 //     map-iteration order or goroutine schedule leaking into results.
 //   - errsink: every error on the durability surface (store.File, pager,
 //     buffer pool, heap, WAL, imgio I/O) must be observed.
+//   - goroleak: every go statement needs a provable shutdown edge — a
+//     WaitGroup join, a channel handoff the package receives, a quit
+//     channel the package closes, or a documented lint-ignore.
+//   - hotalloc: files annotated //walrus:lint-hot must not allocate per
+//     loop iteration (make, growing append, slice/map literals,
+//     interface boxing); existing findings live in the baseline file
+//     until the raw-speed pass burns them down.
 //   - lockdiscipline: methods of mutex-carrying structs must hold the
 //     documented lock before touching "guarded by mu" fields, and must
 //     not upgrade RLock to Lock.
@@ -27,7 +39,8 @@
 //
 // where the reason is mandatory: an ignore without one is itself a
 // diagnostic. A package outside an analyzer's default scope can opt in
-// with `//walrus:lint-scope <analyzer>` in any of its files.
+// with `//walrus:lint-scope <analyzer>` in any of its files, and a file
+// joins the hotalloc hot set with `//walrus:lint-hot`.
 package lint
 
 import (
@@ -36,6 +49,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Package is one type-checked package under analysis.
@@ -68,6 +82,18 @@ func (p *Package) ScopedFor(analyzer string) bool {
 		}
 	}
 	return false
+}
+
+// HotFiles returns the set of file names (as recorded in the FileSet)
+// carrying a //walrus:lint-hot directive.
+func (p *Package) HotFiles() map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range p.Directives {
+		if d.Kind == "hot" {
+			out[d.File] = true
+		}
+	}
+	return out
 }
 
 // Diagnostic is one analyzer finding at a file position.
@@ -108,7 +134,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the repo's analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ErrSink, LockDiscipline, Obs, ParallelConv, SnapshotSafe}
+	return []*Analyzer{CtxFlow, Determinism, ErrSink, GoroLeak, HotAlloc, LockDiscipline, Obs, ParallelConv, SnapshotSafe}
 }
 
 // lintIgnoreName is the pseudo-analyzer that owns directive-hygiene
@@ -120,6 +146,21 @@ const lintIgnoreName = "lintignore"
 // applies //walrus:lint-ignore suppression, and returns the surviving
 // diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analyzePackage(pkg, analyzers, nil)...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// analyzePackage runs the analyzers over one package, enforces directive
+// hygiene, and applies //walrus:lint-ignore suppression. Directives are
+// file-scoped, so each package's suppression is independent of every
+// other's — which is what lets the parallel driver analyze (and cache)
+// packages independently. When timings is non-nil, each analyzer's wall
+// time on this package is accumulated into it.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, timings *timingSink) []Diagnostic {
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
@@ -131,31 +172,33 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	}
 	var diags []Diagnostic
 	suppressed := make(map[key]bool)
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+	for _, a := range analyzers {
+		start := time.Now()
+		a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
+		timings.add(a.Name, time.Since(start))
+	}
+	for _, d := range pkg.Directives {
+		hygiene := func(format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Analyzer: lintIgnoreName,
+				File:     d.File, Line: d.Line, Col: d.Col,
+				Message: fmt.Sprintf(format, args...),
+			})
 		}
-		for _, d := range pkg.Directives {
-			hygiene := func(format string, args ...any) {
-				diags = append(diags, Diagnostic{
-					Analyzer: lintIgnoreName,
-					File:     d.File, Line: d.Line, Col: d.Col,
-					Message: fmt.Sprintf(format, args...),
-				})
-			}
-			switch {
-			case d.Analyzer == "":
-				hygiene("malformed //walrus:lint-%s directive: missing analyzer name", d.Kind)
-			case !known[d.Analyzer]:
-				hygiene("unknown analyzer %q in //walrus:lint-%s directive", d.Analyzer, d.Kind)
-			case d.Kind == "ignore" && d.Reason == "":
-				hygiene("//walrus:lint-ignore %s is missing a reason; document why the diagnostic is suppressed", d.Analyzer)
-			case d.Kind == "ignore":
-				// A well-formed ignore suppresses the analyzer on its own
-				// line (trailing comment) and the next (standalone comment).
-				suppressed[key{d.File, d.Line, d.Analyzer}] = true
-				suppressed[key{d.File, d.Line + 1, d.Analyzer}] = true
-			}
+		switch {
+		case d.Kind == "hot":
+			// A hot mark is file-scoped and names no analyzer.
+		case d.Analyzer == "":
+			hygiene("malformed //walrus:lint-%s directive: missing analyzer name", d.Kind)
+		case !known[d.Analyzer]:
+			hygiene("unknown analyzer %q in //walrus:lint-%s directive", d.Analyzer, d.Kind)
+		case d.Kind == "ignore" && d.Reason == "":
+			hygiene("//walrus:lint-ignore %s is missing a reason; document why the diagnostic is suppressed", d.Analyzer)
+		case d.Kind == "ignore":
+			// A well-formed ignore suppresses the analyzer on its own
+			// line (trailing comment) and the next (standalone comment).
+			suppressed[key{d.File, d.Line, d.Analyzer}] = true
+			suppressed[key{d.File, d.Line + 1, d.Analyzer}] = true
 		}
 	}
 	out := make([]Diagnostic, 0, len(diags))
@@ -165,8 +208,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	return out
+}
+
+// sortDiagnostics orders diagnostics by position, then analyzer, then
+// message — the stable order every output format emits.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -181,5 +230,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
 }

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // listedPackage is the subset of `go list -json` output the loader reads.
@@ -23,6 +24,7 @@ type listedPackage struct {
 	ImportPath string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 	Module     *struct{ Path string }
@@ -33,14 +35,22 @@ type listedPackage struct {
 // source; their imports (stdlib and module-internal alike) resolve
 // through gc export data produced by `go list -export`, which is fast,
 // build-cached, and always consistent with what the compiler sees.
+//
+// A Loader is safe for concurrent use: the parallel driver loads
+// distinct packages from separate goroutines. The FileSet is
+// concurrency-safe by contract; the memo maps are guarded by mu and the
+// gc importer (which caches internally) is serialized behind impMu.
 type Loader struct {
 	Fset    *token.FileSet
 	ModRoot string
 	ModPath string
 
-	exports map[string]string // import path -> export data file
-	imp     types.Importer
+	mu      sync.Mutex          // guards exports and pkgs
+	exports map[string]string   // import path -> export data file
 	pkgs    map[string]*Package // memoized source-checked packages
+
+	impMu sync.Mutex // serializes the gc importer
+	imp   types.Importer
 }
 
 // NewLoader locates the module enclosing dir and returns a loader for it.
@@ -87,14 +97,21 @@ func findModule(dir string) (root, modPath string, err error) {
 	}
 }
 
-// goList runs `go list -export -deps -json` over the patterns and records
-// every listed package's export data file.
-func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
-	args := append([]string{
-		"list", "-export", "-deps",
-		"-json=Dir,ImportPath,Export,GoFiles,DepOnly,Standard,Module",
+// goList runs `go list -deps -json` over the patterns and returns every
+// listed package. With export set it adds -export — compiling as needed
+// and recording each package's export data file — which is what the
+// type-checking path requires; the cache-key path lists without it,
+// because skipping the export step is most of a warm run's speedup.
+func (l *Loader) goList(patterns []string, export bool) ([]*listedPackage, error) {
+	args := []string{"list", "-deps"}
+	if export {
+		args = append(args, "-export")
+	}
+	args = append(args,
+		"-json=Dir,ImportPath,Export,GoFiles,Imports,DepOnly,Standard,Module",
 		"--",
-	}, patterns...)
+	)
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.ModRoot
 	var stdout, stderr bytes.Buffer
@@ -113,27 +130,97 @@ func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
 			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
 		}
 		if lp.Export != "" {
+			l.mu.Lock()
 			l.exports[lp.ImportPath] = lp.Export
+			l.mu.Unlock()
 		}
 		out = append(out, &lp)
 	}
 	return out, nil
 }
 
+// exportFile returns the recorded export data file for an import path.
+func (l *Loader) exportFile(path string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	file, ok := l.exports[path]
+	return file, ok
+}
+
+// ensureExports records export data files for the given packages (and
+// their dependencies) in one `go list -export` invocation, so loading a
+// batch of packages does not degenerate into one subprocess per import.
+func (l *Loader) ensureExports(patterns []string) error {
+	if len(patterns) == 0 {
+		return nil
+	}
+	_, err := l.goList(patterns, true)
+	return err
+}
+
 // lookupExport feeds the gc importer: it returns a reader over the export
 // data of one import path, shelling out to `go list` lazily for paths not
 // seen yet (e.g. stdlib packages only fixtures import).
 func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
-	if _, ok := l.exports[path]; !ok {
-		if _, err := l.goList([]string{path}); err != nil {
+	if _, ok := l.exportFile(path); !ok {
+		if _, err := l.goList([]string{path}, true); err != nil {
 			return nil, err
 		}
 	}
-	file, ok := l.exports[path]
+	file, ok := l.exportFile(path)
 	if !ok {
 		return nil, fmt.Errorf("lint: no export data for %q", path)
 	}
 	return os.Open(file)
+}
+
+// lockedImporter serializes calls into the loader's gc importer, whose
+// internal package cache is not safe for concurrent use. It implements
+// types.ImporterFrom so the type-checker takes the vendor-aware path.
+type lockedImporter struct{ l *Loader }
+
+func (li lockedImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	li.l.impMu.Lock()
+	defer li.l.impMu.Unlock()
+	if from, ok := li.l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return li.l.imp.Import(path)
+}
+
+// List resolves the go package patterns (default "./...") to the
+// module's own packages — sorted by import path, without type-checking
+// or compiling anything. It also returns an index of every
+// module-internal package the listing reached (including
+// dependency-only ones), which is what the cache keyer walks to hash a
+// package's transitive in-module sources. The cache-aware driver lists
+// first and only loads the misses.
+func (l *Loader) List(patterns ...string) ([]*listedPackage, map[string]*listedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := l.goList(patterns, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []*listedPackage
+	index := make(map[string]*listedPackage)
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil || lp.Module.Path != l.ModPath {
+			continue
+		}
+		index[lp.ImportPath] = lp
+		if lp.DepOnly {
+			continue
+		}
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, index, nil
 }
 
 // Load type-checks every module package matching the go package patterns
@@ -141,25 +228,25 @@ func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
 // and testdata directories are excluded, mirroring what ships in the
 // build.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	listed, err := l.goList(patterns)
+	listed, _, err := l.List(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
+	paths := make([]string, len(listed))
+	for i, lp := range listed {
+		paths[i] = lp.ImportPath
+	}
+	if err := l.ensureExports(paths); err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(listed))
 	for _, lp := range listed {
-		if lp.DepOnly || lp.Standard || lp.Module == nil || lp.Module.Path != l.ModPath {
-			continue
-		}
 		pkg, err := l.loadFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
 }
 
@@ -196,7 +283,10 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 
 // loadFiles parses and type-checks one package from explicit file names.
 func (l *Loader) loadFiles(dir, importPath string, names []string) (*Package, error) {
-	if p, ok := l.pkgs[importPath]; ok {
+	l.mu.Lock()
+	p, ok := l.pkgs[importPath]
+	l.mu.Unlock()
+	if ok {
 		return p, nil
 	}
 	var files []*ast.File
@@ -215,7 +305,7 @@ func (l *Loader) loadFiles(dir, importPath string, names []string) (*Package, er
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: lockedImporter{l}}
 	tpkg, err := conf.Check(importPath, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
@@ -233,6 +323,8 @@ func (l *Loader) loadFiles(dir, importPath string, names []string) (*Package, er
 	for _, f := range files {
 		pkg.Directives = append(pkg.Directives, parseDirectives(l.Fset, f)...)
 	}
+	l.mu.Lock()
 	l.pkgs[importPath] = pkg
+	l.mu.Unlock()
 	return pkg, nil
 }

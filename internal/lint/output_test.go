@@ -2,9 +2,46 @@ package lint
 
 import (
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files under testdata/golden")
+
+// goldenDiags is the fixed diagnostic set behind the golden files:
+// deterministic paths rooted at /mod, one out-of-module path, and a
+// message with characters JSON must escape.
+var goldenDiags = []Diagnostic{
+	{Analyzer: "ctxflow", File: "/mod/query.go", Line: 12, Col: 3, Message: `context.Background() discards the caller's deadline: forward "ctx" instead`},
+	{Analyzer: "goroleak", File: "/mod/internal/serve/serve.go", Line: 40, Col: 2, Message: "goroutine has no provable shutdown edge"},
+	{Analyzer: "hotalloc", File: "/elsewhere/x.go", Line: 7, Col: 9, Message: "make([]float64) inside a hot loop allocates every iteration"},
+}
+
+// checkGolden compares got against testdata/golden/<name>, rewriting the
+// file under -update-golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
 
 func TestWriteText(t *testing.T) {
 	diags := []Diagnostic{
@@ -42,6 +79,75 @@ func TestWriteJSON(t *testing.T) {
 	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
 		if _, ok := decoded[0][key]; !ok {
 			t.Errorf("JSON diagnostic is missing key %q: %v", key, decoded[0])
+		}
+	}
+}
+
+// TestWriteJSONGolden pins the exact -json byte shape against a golden
+// file and round-trips it back into []Diagnostic losslessly.
+func TestWriteJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, goldenDiags); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diags.json", sb.String())
+
+	var back []Diagnostic
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(goldenDiags) {
+		t.Fatalf("round-trip lost diagnostics: got %d, want %d", len(back), len(goldenDiags))
+	}
+	for i := range back {
+		if back[i] != goldenDiags[i] {
+			t.Errorf("diagnostic %d changed in round-trip:\n got %+v\nwant %+v", i, back[i], goldenDiags[i])
+		}
+	}
+}
+
+// TestWriteSARIFGolden pins the -sarif output against a golden file and
+// verifies the SARIF log still carries every diagnostic: rule id,
+// message, module-relative URI, and position all survive the format.
+func TestWriteSARIFGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSARIF(&sb, "/mod", All(), goldenDiags); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diags.sarif", sb.String())
+
+	var log sarifLog
+	if err := json.Unmarshal([]byte(sb.String()), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "walrus-lint" {
+		t.Errorf("driver name %q, want walrus-lint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(All()) {
+		t.Errorf("rule table has %d entries, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(All()))
+	}
+	if len(run.Results) != len(goldenDiags) {
+		t.Fatalf("SARIF run has %d results, want %d", len(run.Results), len(goldenDiags))
+	}
+	wantURIs := []string{"query.go", "internal/serve/serve.go", "/elsewhere/x.go"}
+	for i, res := range run.Results {
+		d := goldenDiags[i]
+		if res.RuleID != d.Analyzer || res.Message.Text != d.Message {
+			t.Errorf("result %d: got (%s, %q), want (%s, %q)", i, res.RuleID, res.Message.Text, d.Analyzer, d.Message)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != wantURIs[i] {
+			t.Errorf("result %d URI %q, want %q", i, loc.ArtifactLocation.URI, wantURIs[i])
+		}
+		if loc.Region.StartLine != d.Line || loc.Region.StartColumn != d.Col {
+			t.Errorf("result %d region %d:%d, want %d:%d", i, loc.Region.StartLine, loc.Region.StartColumn, d.Line, d.Col)
 		}
 	}
 }

@@ -1,0 +1,93 @@
+// Fixture for the goroleak analyzer: every go statement needs a
+// provable shutdown edge — a WaitGroup join, a channel handoff the
+// package receives, a join close, a quit signal, or a documented
+// lint-ignore.
+package gorofix
+
+import "sync"
+
+// Joined is clean: the goroutines Done a WaitGroup the function Waits.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Handoff is clean: the goroutine's send is received as the join.
+func Handoff() error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- nil
+	}()
+	return <-errCh
+}
+
+// JoinClose is clean: the goroutine closes done and the caller blocks
+// on it.
+func JoinClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// QuitSignal is clean: the goroutine blocks on a quit channel the
+// package closes.
+func QuitSignal() {
+	quit := make(chan struct{})
+	go func() {
+		<-quit
+	}()
+	close(quit)
+}
+
+// pool proves the one-level inlining of go m.run(): the callee's Done
+// matches Close's Wait through the shared field object.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+}
+
+func (p *pool) Start() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *pool) Close() {
+	p.wg.Wait()
+}
+
+// Leaks has no shutdown edge at all.
+func Leaks() {
+	go func() { // want `goroutine has no provable shutdown edge`
+		select {}
+	}()
+}
+
+// LeaksOwnWait spins a private WaitGroup nobody Waits on — Done without
+// a package-level Wait is not a join.
+func LeaksOwnWait() {
+	var solo sync.WaitGroup
+	solo.Add(1)
+	go func() { // want `goroutine has no provable shutdown edge`
+		defer solo.Done()
+	}()
+}
+
+// Documented keeps a deliberate fire-and-forget goroutine behind an
+// explained ignore.
+func Documented() {
+	//walrus:lint-ignore goroleak process-lifetime ticker, exits with the program
+	go func() {
+		select {}
+	}()
+}

@@ -1,0 +1,14 @@
+// cold.go carries no //walrus:lint-hot directive: the same per-iteration
+// allocations stay legal here, proving the hot mark is file-scoped.
+package hotfix
+
+// ColdPath allocates per iteration in a file outside the hot set.
+func ColdPath(rows [][]float64) []float64 {
+	var out []float64
+	for i := range rows {
+		tmp := make([]float64, len(rows[i]))
+		copy(tmp, rows[i])
+		out = append(out, tmp...)
+	}
+	return out
+}

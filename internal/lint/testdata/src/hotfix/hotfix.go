@@ -1,0 +1,98 @@
+// Fixture for the hotalloc analyzer: files marked //walrus:lint-hot
+// must not allocate per loop iteration.
+//
+//walrus:lint-hot fixture stands in for the wavelet DP
+package hotfix
+
+import "walrus/internal/parallel"
+
+// Hoisted is clean: the buffer is allocated once, outside the loop.
+func Hoisted(rows [][]float64) []float64 {
+	buf := make([]float64, len(rows))
+	for i := range rows {
+		buf[i] = rows[i][0]
+	}
+	return buf
+}
+
+// PerIterMake allocates a scratch slice every iteration.
+func PerIterMake(rows [][]float64) float64 {
+	total := 0.0
+	for i := range rows {
+		tmp := make([]float64, len(rows[i])) // want `make\(\[\]float64\) inside a hot loop allocates every iteration`
+		copy(tmp, rows[i])
+		total += tmp[0]
+	}
+	return total
+}
+
+// Growth appends without preallocated capacity.
+func Growth(rows [][]float64) []float64 {
+	var out []float64
+	for i := range rows {
+		out = append(out, rows[i]...) // want `append to "out" inside a hot loop may reallocate every iteration`
+	}
+	return out
+}
+
+// Literal builds a fresh slice literal every iteration.
+func Literal(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		pair := []int{i, i * 2} // want `\[\]int literal inside a hot loop allocates every iteration`
+		total += pair[0]
+	}
+	return total
+}
+
+// NestedRange flags the inner loop's map literal once, not its
+// elements.
+func NestedRange(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		for i := 0; i < 3; i++ {
+			m := map[string]int{k: i} // want `map\[string\]int literal inside a hot loop allocates every iteration`
+			total += m[k]
+		}
+	}
+	return total
+}
+
+type sink interface{ add(v int) }
+
+type counter struct{ n int }
+
+func (c *counter) add(v int) { c.n += v }
+
+func use(s sink, v int) { s.add(v) }
+
+// Boxing converts a concrete value to an interface inside the loop.
+func Boxing(n int) int {
+	c := counter{}
+	for i := 0; i < n; i++ {
+		use(&c, i) // want `passing \*counter to an interface parameter inside a hot loop boxes the value`
+	}
+	return c.n
+}
+
+// MonomorphicClean keeps the inner loop interface-free: the interface
+// conversion happens once, outside.
+func MonomorphicClean(n int) int {
+	c := counter{}
+	var s sink = &c
+	for i := 0; i < n; i++ {
+		s.add(i)
+	}
+	return c.n
+}
+
+// FanOut treats a pool closure as a loop body: it runs once per task.
+func FanOut(rows [][]float64, out []float64) {
+	parallel.For(len(rows), 4, func(i int) {
+		w := make([]float64, 8) // want `make\(\[\]float64\) inside a hot loop allocates every iteration`
+		for j := range w {
+			w[j] = rows[i][j%len(rows[i])]
+		}
+		out[i] = w[0]
+	})
+}

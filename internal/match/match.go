@@ -15,6 +15,8 @@
 //     is NP-hard (Theorem 5.1), so this is exponential and intended for
 //     small instances — it validates the greedy heuristic in tests and
 //     benches.
+//
+//walrus:lint-hot scoring runs per candidate image on the query path
 package match
 
 import (

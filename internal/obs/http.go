@@ -58,6 +58,7 @@ type Server struct {
 	Addr string
 	ln   net.Listener
 	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // Serve starts the observability handler on addr in a background
@@ -68,20 +69,26 @@ func Serve(addr string, r *Registry) (*Server, error) {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(r)}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv, done: make(chan struct{})}
 	go func() {
+		defer close(s.done)
 		// Serve returns ErrServerClosed (or a listener error) once Close
 		// runs; either way the goroutine is done and there is nobody to
 		// hand the error to.
 		//walrus:lint-ignore errsink http.Serve error after listener close is expected shutdown noise
 		_ = srv.Serve(ln)
 	}()
-	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+	return s, nil
 }
 
-// Close stops the listener.
+// Close stops the listener and waits for the serve goroutine to exit,
+// so a caller that closes and re-binds the same address never races the
+// old accept loop.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	<-s.done
+	return err
 }

@@ -1,3 +1,4 @@
+//walrus:lint-hot per-window signature extraction dominates indexing cost
 package region
 
 import (

@@ -374,13 +374,58 @@ func TestServeCoalescerVersionAtomicity(t *testing.T) {
 // 201 is present — and durable — after the drain: the database reopens
 // from disk holding each acked id.
 func TestServeGracefulDrain(t *testing.T) {
-	dir := t.TempDir()
-	db, err := walrus.Create(dir, testOptions())
-	if err != nil {
-		t.Fatalf("creating db: %v", err)
+	testGracefulDrain(t,
+		func(t *testing.T, dir string) Backend {
+			db, err := walrus.Create(dir, testOptions())
+			if err != nil {
+				t.Fatalf("creating db: %v", err)
+			}
+			return db
+		},
+		func(t *testing.T, dir string) Backend {
+			db, err := walrus.Open(dir)
+			if err != nil {
+				t.Fatalf("reopening after drain: %v", err)
+			}
+			return db
+		})
+}
+
+// TestServeGracefulDrainSharded runs the same acked-write-survives-drain
+// proof over the sharded backend: coalesced batches fan out across
+// shards, and the drain must still flush every shard's WAL before the
+// server reports drained.
+func TestServeGracefulDrainSharded(t *testing.T) {
+	shardedOptions := func() walrus.Options {
+		o := testOptions()
+		o.Shards = 4
+		return o
 	}
+	testGracefulDrain(t,
+		func(t *testing.T, dir string) Backend {
+			db, err := walrus.CreateSharded(dir, shardedOptions())
+			if err != nil {
+				t.Fatalf("creating sharded db: %v", err)
+			}
+			return db
+		},
+		func(t *testing.T, dir string) Backend {
+			db, err := walrus.OpenSharded(dir)
+			if err != nil {
+				t.Fatalf("reopening sharded db after drain: %v", err)
+			}
+			return db
+		})
+}
+
+// testGracefulDrain is the shared drain scenario, parameterized over the
+// durable backend: create builds a fresh store in dir and reopen loads
+// it back from disk after the drain.
+func testGracefulDrain(t *testing.T, create, reopen func(t *testing.T, dir string) Backend) {
+	t.Helper()
+	dir := t.TempDir()
 	s, err := New(Config{
-		Backend:         db,
+		Backend:         create(t, dir),
 		CoalesceMaxWait: time.Millisecond,
 	})
 	if err != nil {
@@ -451,10 +496,7 @@ func TestServeGracefulDrain(t *testing.T) {
 	}
 
 	// Every acknowledged write survived the drain, durably.
-	reopened, err := walrus.Open(dir)
-	if err != nil {
-		t.Fatalf("reopening after drain: %v", err)
-	}
+	reopened := reopen(t, dir)
 	defer func() {
 		if err := reopened.Close(); err != nil {
 			t.Errorf("closing reopened db: %v", err)

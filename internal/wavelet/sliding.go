@@ -1,3 +1,4 @@
+//walrus:lint-hot sliding-window DP is the per-image signature hot path
 package wavelet
 
 import (

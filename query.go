@@ -1,3 +1,4 @@
+//walrus:lint-hot staged query pipeline: probe/refine/score fan-outs
 package walrus
 
 import (
@@ -104,15 +105,20 @@ func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p Q
 
 // refineStage is the refined matching phase of Section 5.5: candidate
 // pairs are re-verified against the finer signatures when both sides
-// carry one, filtering each region's hit list in place.
-func (s *Snapshot) refineStage(qRegions []region.Region, perRegion [][]probeHit, p QueryParams, workers int) {
+// carry one, filtering each region's hit list in place. Like the probe
+// and score stages, every task checks the deadline so an expired
+// context stops the refinement fan-out.
+func (s *Snapshot) refineStage(ctx context.Context, qRegions []region.Region, perRegion [][]probeHit, p QueryParams, workers int) error {
 	if !p.Refine {
-		return
+		return nil
 	}
-	parallel.For(len(perRegion), workers, func(qi int) {
+	return parallel.ForErr(len(perRegion), workers, func(qi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		qr := qRegions[qi]
 		if qr.Fine == nil {
-			return
+			return nil
 		}
 		bound := p.RefineEpsilon
 		if bound == 0 {
@@ -129,6 +135,7 @@ func (s *Snapshot) refineStage(qRegions []region.Region, perRegion [][]probeHit,
 			kept = append(kept, h)
 		}
 		perRegion[qi] = kept
+		return nil
 	})
 }
 
@@ -263,7 +270,9 @@ func (s *Snapshot) finishQuery(ctx context.Context, qRegions []region.Region, qA
 	if err != nil {
 		return nil, stats, err
 	}
-	s.refineStage(qRegions, perRegion, p, workers)
+	if err := s.refineStage(ctx, qRegions, perRegion, p, workers); err != nil {
+		return nil, stats, err
+	}
 	pairsByImage, retrieved := aggregateStage(perRegion)
 	stats.RegionsRetrieved = retrieved
 	stats.CandidateImages = len(pairsByImage)

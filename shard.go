@@ -520,7 +520,9 @@ func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Re
 		if err != nil {
 			return err
 		}
-		ss.snaps[i].refineStage(qRegions, perRegion, p, workers)
+		if err := ss.snaps[i].refineStage(ctx, qRegions, perRegion, p, workers); err != nil {
+			return err
+		}
 		perShard[i], retrieved[i] = aggregateStage(perRegion)
 		return nil
 	})
