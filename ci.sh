@@ -24,7 +24,13 @@
 #      count must reproduce the shards=1 oracle byte-for-byte), the
 #      per-shard crash matrix and the cross-shard fan-out oracle under
 #      the race detector
-#   1e. serve tier: exercises the HTTP front-end under the race detector
+#   1e. explain tier: runs the trace/EXPLAIN suite under the race
+#      detector — the 4-shard trace-completeness storm (single root, no
+#      orphaned spans, funnel counts identical at every Parallelism),
+#      the funnel determinism matrix (shards 1 vs 4), the span-ring
+#      overflow counter, and the golden-file test pinning the
+#      /v1/search?explain=1 JSON schema
+#   1f. serve tier: exercises the HTTP front-end under the race detector
 #      — handler contracts, admission saturation (429 + gauges draining
 #      to zero), coalescer version atomicity, and the graceful-drain
 #      no-acked-write-lost proof (plain and sharded backends) against a
@@ -94,6 +100,7 @@ tier "tier 1: obs scrape during stress" go test -race -count=1 -run 'TestObsScra
 tier "tier 1: obs exposition validators" go test -count=1 -run 'TestPrometheusOutputValidates|TestValidatePrometheusRejectsMalformed|TestHandlerEndpoints' ./internal/obs
 tier "tier 1: snapshot (acquire/release vs publish, leak check)" go test -race -count=1 -run 'TestSnapshot' .
 tier "tier 1: shard (determinism matrix, crash recovery, fan-out oracle)" go test -race -count=1 -run 'TestShard' .
+tier "tier 1: explain (trace completeness, funnel determinism, schema golden)" go test -race -count=1 -run 'TestTrace|TestExplain' ./...
 tier "tier 1: serve (handlers, admission, coalescing, graceful drain)" go test -race -count=1 -run 'TestServe' ./...
 
 tier "tier 2: full tests" go test ./...

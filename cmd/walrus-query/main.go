@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"image"
@@ -19,6 +20,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"walrus"
 	"walrus/internal/imgio"
@@ -39,11 +41,17 @@ func main() {
 		matcher = flag.String("matcher", "quick", "image matcher: quick, greedy, exact or assignment")
 		sceneXY = flag.String("scene", "", "query with a sub-rectangle only: x,y,w,h (user-specified scene)")
 		durable = flag.String("durability", "", "override the index's WAL durability policy: always, group or none")
+		explain = flag.Bool("explain", false, "print the stage-by-stage candidate funnel after the results")
 	)
 	obsFlags := obscli.Register()
+	logFlags := obscli.RegisterLog()
 	flag.Parse()
 	if *imgPath == "" {
 		log.Fatal("missing -image")
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
 	}
 	reg, obsStop, err := obsFlags.Start()
 	if err != nil {
@@ -85,6 +93,11 @@ func main() {
 		log.Fatalf("unknown matcher %q", *matcher)
 	}
 
+	ctx := context.Background()
+	var qt *walrus.QueryTrace
+	if *explain || logFlags.SlowQueryMS > 0 {
+		ctx, qt = walrus.WithQueryTrace(ctx)
+	}
 	var matches []walrus.Match
 	var stats walrus.QueryStats
 	if *sceneXY != "" {
@@ -92,9 +105,9 @@ func main() {
 		if _, err := fmt.Sscanf(*sceneXY, "%d,%d,%d,%d", &x, &y, &w, &h); err != nil {
 			log.Fatalf("bad -scene %q: %v", *sceneXY, err)
 		}
-		matches, stats, err = db.QueryScene(im, x, y, w, h, params)
+		matches, stats, err = db.QuerySceneContext(ctx, im, x, y, w, h, params)
 	} else {
-		matches, stats, err = db.Query(im, params)
+		matches, stats, err = db.QueryContext(ctx, im, params)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -105,13 +118,55 @@ func main() {
 	for i, m := range matches {
 		fmt.Printf("%-5d %-24s %12.4f %10d\n", i+1, m.ID, m.Similarity, m.MatchingRegions)
 	}
+	if *explain {
+		printExplain(qt)
+	}
+	if logFlags.SlowQueryMS > 0 && stats.Elapsed >= logFlags.SlowQueryThreshold() {
+		logger.Warn("slow query",
+			"trace", qt.TraceID,
+			"elapsed", stats.Elapsed,
+			"epsilon", qt.Params.Epsilon,
+			"tau", qt.Params.Tau,
+			"query_regions", qt.QueryRegions,
+			"regions_retrieved", stats.RegionsRetrieved,
+			"candidates", stats.CandidateImages,
+			"matches", qt.Matches)
+	}
+}
+
+// printExplain renders the candidate funnel as a table: one row per
+// pipeline stage, then one per shard when the index is sharded.
+func printExplain(qt *walrus.QueryTrace) {
+	fmt.Printf("\nexplain: %d query regions", qt.QueryRegions)
+	if qt.TraceID != "" {
+		fmt.Printf(", trace %s", qt.TraceID)
+	}
+	fmt.Printf("\n%-10s %8s %8s %11s %7s %12s\n", "stage", "in", "out", "index_hits", "nodes", "time")
+	for _, st := range qt.Stages {
+		hits, nodes := "-", "-"
+		if st.Stage == "probe" {
+			hits = fmt.Sprintf("%d", st.IndexHits)
+			nodes = fmt.Sprintf("%d", st.NodesVisited)
+		}
+		fmt.Printf("%-10s %8d %8d %11s %7s %12s\n",
+			st.Stage, st.In, st.Out, hits, nodes, time.Duration(st.DurationNS))
+	}
+	if qt.Sharded {
+		fmt.Printf("\n%-6s %8s %11s %7s %10s %11s %8s %12s %12s\n",
+			"shard", "version", "index_hits", "nodes", "retrieved", "candidates", "matches", "probe", "score")
+		for _, sh := range qt.Shards {
+			fmt.Printf("%-6d %8d %11d %7d %10d %11d %8d %12s %12s\n",
+				sh.Shard, sh.Version, sh.IndexHits, sh.NodesVisited, sh.RegionsRetrieved,
+				sh.CandidateImages, sh.Matches, time.Duration(sh.ProbeNS), time.Duration(sh.ScoreNS))
+		}
+	}
 }
 
 // queryDB is the slice of the database API the query tool drives; both a
 // plain DB and a Sharded fleet satisfy it.
 type queryDB interface {
-	Query(im *imgio.Image, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
-	QueryScene(im *imgio.Image, x, y, w, h int, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
+	QueryContext(ctx context.Context, im *imgio.Image, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
+	QuerySceneContext(ctx context.Context, im *imgio.Image, x, y, w, h int, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
 	SetMetrics(reg *obs.Registry)
 	SetDurability(p walrus.DurabilityPolicy)
 	Close() error

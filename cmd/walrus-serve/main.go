@@ -44,6 +44,7 @@ func main() {
 		coalesceWait  = flag.Duration("coalesce-wait", 0, "max age of a pending write before a partial flush (0 = 2ms)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests during graceful drain")
 		obsFlags      = obscli.Register()
+		logFlags      = obscli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -51,6 +52,10 @@ func main() {
 		log.Fatal("walrus-serve: exactly one of -db or -mem is required")
 	}
 
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	reg, obsStop, err := obsFlags.Start()
 	if err != nil {
 		log.Fatal(err)
@@ -107,6 +112,8 @@ func main() {
 		CoalesceMaxWait:      *coalesceWait,
 		Metrics:              reg,
 		Logf:                 log.Printf,
+		Log:                  logger,
+		SlowQueryThreshold:   logFlags.SlowQueryThreshold(),
 	})
 	if err != nil {
 		log.Fatal(err)

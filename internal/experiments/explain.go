@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"walrus"
+	"walrus/internal/dataset"
+	"walrus/internal/obs"
+)
+
+// ExplainOverheadResult measures what the EXPLAIN/tracing machinery
+// costs on the query hot path of a disk-backed index, across the three
+// modes a query can run in: tracing off (no registry, plain context —
+// the default), live spans (registry attached, no explain), and full
+// EXPLAIN (registry attached, funnel accumulator on the context). All
+// timings are best-of-rounds means per serial query.
+type ExplainOverheadResult struct {
+	Images          int `json:"images"`
+	QueriesPerRound int `json:"queries_per_round"`
+	Rounds          int `json:"rounds"`
+
+	OffNsOp     float64 `json:"off_ns_per_query"`
+	LiveNsOp    float64 `json:"live_spans_ns_per_query"`
+	ExplainNsOp float64 `json:"explain_ns_per_query"`
+
+	// LivePct and ExplainPct are each mode's overhead over tracing-off.
+	LivePct    float64 `json:"live_spans_overhead_pct"`
+	ExplainPct float64 `json:"explain_overhead_pct"`
+
+	// FunnelConsistent reports the explain run's funnel invariants: stage
+	// Out feeds the next stage's In, the shard rows sum to the totals,
+	// and the stats the query returned agree with the funnel.
+	FunnelConsistent bool `json:"funnel_consistent"`
+	// SpansPerQuery is how many live spans one traced query records.
+	SpansPerQuery float64 `json:"spans_per_query"`
+}
+
+// explainMode names one timed configuration of ExplainOverhead.
+type explainMode int
+
+const (
+	modeOff explainMode = iota
+	modeLive
+	modeExplain
+)
+
+// ExplainOverhead builds a disk-backed index over up to images dataset
+// items, then times the same serial query workload in the three tracing
+// modes, alternating modes within each round and keeping each mode's
+// best round so background noise hits all modes alike.
+func ExplainOverhead(ds *dataset.Dataset, opts walrus.Options, images, queries, rounds int) (ExplainOverheadResult, error) {
+	if len(ds.Items) == 0 {
+		return ExplainOverheadResult{}, fmt.Errorf("experiments: empty dataset")
+	}
+	if images > len(ds.Items) {
+		images = len(ds.Items)
+	}
+	items := make([]walrus.BatchItem, images)
+	for i := 0; i < images; i++ {
+		items[i] = walrus.BatchItem{ID: ds.Items[i].ID, Image: ds.Items[i].Image}
+	}
+	base, err := os.MkdirTemp("", "walrus-explain")
+	if err != nil {
+		return ExplainOverheadResult{}, err
+	}
+	defer os.RemoveAll(base)
+	db, err := walrus.Create(filepath.Join(base, "idx"), opts)
+	if err != nil {
+		return ExplainOverheadResult{}, err
+	}
+	defer db.Close()
+	if err := db.AddBatch(items, 0); err != nil {
+		return ExplainOverheadResult{}, err
+	}
+
+	reg := obs.NewRegistry()
+	params := walrus.DefaultQueryParams()
+	params.Parallelism = 1 // serial: measure the hot path, not the scheduler
+	q := ds.Items[0].Image
+	run := func(mode explainMode) (time.Duration, error) {
+		if mode == modeOff {
+			db.SetMetrics(nil)
+		} else {
+			db.SetMetrics(reg)
+		}
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			ctx := context.Background()
+			if mode == modeExplain {
+				ctx, _ = walrus.WithQueryTrace(ctx)
+			}
+			if _, _, err := db.QueryContext(ctx, q, params); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	if _, err := run(modeOff); err != nil { // warm-up, discarded
+		return ExplainOverheadResult{}, err
+	}
+
+	best := map[explainMode]time.Duration{}
+	for r := 0; r < rounds; r++ {
+		for _, mode := range []explainMode{modeOff, modeLive, modeExplain} {
+			d, err := run(mode)
+			if err != nil {
+				return ExplainOverheadResult{}, err
+			}
+			if cur, ok := best[mode]; !ok || d < cur {
+				best[mode] = d
+			}
+		}
+	}
+
+	// One final explained query checks the funnel invariants and counts
+	// the spans a traced query records (by its own trace id, so ring
+	// wraparound from the timed rounds cannot skew the count).
+	db.SetMetrics(reg)
+	ctx, qt := walrus.WithQueryTrace(context.Background())
+	matches, stats, err := db.QueryContext(ctx, q, params)
+	if err != nil {
+		return ExplainOverheadResult{}, err
+	}
+	spans := 0
+	if id, err := obs.ParseTraceID(qt.TraceID); err == nil {
+		spans = len(reg.Tracer().TraceSpans(id))
+	}
+	db.SetMetrics(nil)
+
+	res := ExplainOverheadResult{
+		Images:           images,
+		QueriesPerRound:  queries,
+		Rounds:           rounds,
+		OffNsOp:          float64(best[modeOff].Nanoseconds()) / float64(queries),
+		LiveNsOp:         float64(best[modeLive].Nanoseconds()) / float64(queries),
+		ExplainNsOp:      float64(best[modeExplain].Nanoseconds()) / float64(queries),
+		FunnelConsistent: funnelConsistent(qt, stats, len(matches)),
+		SpansPerQuery:    float64(spans),
+	}
+	res.LivePct = (res.LiveNsOp - res.OffNsOp) / res.OffNsOp * 100
+	res.ExplainPct = (res.ExplainNsOp - res.OffNsOp) / res.OffNsOp * 100
+	return res, nil
+}
+
+// funnelConsistent checks the structural invariants of a filled funnel
+// against the stats and matches the same query returned.
+func funnelConsistent(qt *walrus.QueryTrace, stats walrus.QueryStats, matches int) bool {
+	if qt.QueryRegions != stats.QueryRegions || qt.Matches != matches {
+		return false
+	}
+	if len(qt.Stages) == 0 || len(qt.Shards) == 0 {
+		return false
+	}
+	for i, st := range qt.Stages[1:] {
+		if st.In != qt.Stages[i].Out {
+			return false
+		}
+	}
+	retrieved, candidates := 0, 0
+	for _, sh := range qt.Shards {
+		retrieved += sh.RegionsRetrieved
+		candidates += sh.CandidateImages
+	}
+	return retrieved == stats.RegionsRetrieved && candidates == stats.CandidateImages
+}
+
+// PrintExplainOverhead renders the EXPLAIN overhead measurement.
+func PrintExplainOverhead(w io.Writer, r ExplainOverheadResult) {
+	fmt.Fprintf(w, "EXPLAIN overhead (%d images, %d serial queries x %d rounds, best round per mode)\n",
+		r.Images, r.QueriesPerRound, r.Rounds)
+	fmt.Fprintf(w, "%-34s %12.0f ns/query\n", "tracing off (no registry)", r.OffNsOp)
+	fmt.Fprintf(w, "%-34s %12.0f ns/query (%+.2f%%)\n", "live spans (registry attached)", r.LiveNsOp, r.LivePct)
+	fmt.Fprintf(w, "%-34s %12.0f ns/query (%+.2f%%)\n", "explain (funnel accumulator)", r.ExplainNsOp, r.ExplainPct)
+	fmt.Fprintf(w, "funnel consistent: %v; live spans per traced query: %.0f\n", r.FunnelConsistent, r.SpansPerQuery)
+}

@@ -104,19 +104,32 @@ func Score(qRegions, tRegions []region.Region, pairs []Pair, qArea, tArea int, o
 	if qArea <= 0 || tArea <= 0 {
 		return Result{}, fmt.Errorf("match: non-positive image areas %d, %d", qArea, tArea)
 	}
+	// The validation loop only records the first offending pair; the
+	// error itself is built after the loop so the per-pair body stays
+	// allocation-free (fmt.Errorf boxes its int arguments).
 	k := -1
-	for _, p := range pairs {
+	bad := -1
+	for i, p := range pairs {
 		if p.Q < 0 || p.Q >= len(qRegions) || p.T < 0 || p.T >= len(tRegions) {
-			return Result{}, fmt.Errorf("match: pair (%d,%d) out of range (%d query, %d target regions)",
-				p.Q, p.T, len(qRegions), len(tRegions))
+			bad = i
+			break
 		}
 		if k == -1 {
 			k = qRegions[p.Q].Bitmap.K
 		}
 		if qRegions[p.Q].Bitmap.K != k || tRegions[p.T].Bitmap.K != k {
-			return Result{}, fmt.Errorf("match: bitmap grids differ across regions (%d vs %d/%d)",
-				k, qRegions[p.Q].Bitmap.K, tRegions[p.T].Bitmap.K)
+			bad = i
+			break
 		}
+	}
+	if bad >= 0 {
+		p := pairs[bad]
+		if p.Q < 0 || p.Q >= len(qRegions) || p.T < 0 || p.T >= len(tRegions) {
+			return Result{}, fmt.Errorf("match: pair (%d,%d) out of range (%d query, %d target regions)",
+				p.Q, p.T, len(qRegions), len(tRegions))
+		}
+		return Result{}, fmt.Errorf("match: bitmap grids differ across regions (%d vs %d/%d)",
+			k, qRegions[p.Q].Bitmap.K, tRegions[p.T].Bitmap.K)
 	}
 	var res Result
 	switch opts.Algorithm {
@@ -186,7 +199,10 @@ func scoreGreedy(qRegions, tRegions []region.Region, pairs []Pair, qArea, tArea 
 	usedQ := make(map[int]bool)
 	usedT := make(map[int]bool)
 	remaining := append([]Pair(nil), pairs...)
-	var chosen []Pair
+	// chosen is written by index so the selection loop never reallocates;
+	// at most len(pairs) pairs can be picked.
+	chosen := make([]Pair, len(pairs))
+	nChosen := 0
 	for len(remaining) > 0 {
 		bestGain := 0.0
 		bestIdx := -1
@@ -209,11 +225,17 @@ func scoreGreedy(qRegions, tRegions []region.Region, pairs []Pair, qArea, tArea 
 		usedT[p.T] = true
 		uq.UnionWith(qRegions[p.Q].Bitmap)
 		ut.UnionWith(tRegions[p.T].Bitmap)
-		chosen = append(chosen, p)
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		chosen[nChosen] = p
+		nChosen++
+		copy(remaining[bestIdx:], remaining[bestIdx+1:])
+		remaining = remaining[:len(remaining)-1]
+	}
+	var picked []Pair // nil, not empty, when nothing matched
+	if nChosen > 0 {
+		picked = chosen[:nChosen]
 	}
 	return Result{
-		Pairs:    chosen,
+		Pairs:    picked,
 		CoveredQ: uq.Fraction() * float64(qArea),
 		CoveredT: ut.Fraction() * float64(tArea),
 	}
@@ -311,54 +333,4 @@ func scoreExact(qRegions, tRegions []region.Region, pairs []Pair, qArea, tArea i
 	}
 	dfs(0, 0, 0)
 	return best
-}
-
-// PairsWithin computes the matching region pairs between two region sets
-// directly (without an index): centroids within euclidean distance eps.
-// The WALRUS database uses the R*-tree for this; PairsWithin is the
-// reference implementation used by tests and small-scale search.
-func PairsWithin(qRegions, tRegions []region.Region, eps float64) []Pair {
-	var out []Pair
-	for qi, q := range qRegions {
-		for ti, t := range tRegions {
-			if euclid(q.Signature, t.Signature) <= eps {
-				out = append(out, Pair{qi, ti})
-			}
-		}
-	}
-	return out
-}
-
-// PairsWithinBBox computes matching pairs under the bounding-box signature
-// model: region signatures are boxes, and two regions match when one box
-// expanded by eps intersects the other (Definition 4.1's bounding-box
-// reading).
-func PairsWithinBBox(qRegions, tRegions []region.Region, eps float64) []Pair {
-	var out []Pair
-	for qi, q := range qRegions {
-		for ti, t := range tRegions {
-			if boxesWithin(q.Min, q.Max, t.Min, t.Max, eps) {
-				out = append(out, Pair{qi, ti})
-			}
-		}
-	}
-	return out
-}
-
-func boxesWithin(aMin, aMax, bMin, bMax []float64, eps float64) bool {
-	for i := range aMin {
-		if aMin[i]-eps > bMax[i] || bMin[i]-eps > aMax[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func euclid(a, b []float64) float64 {
-	d := 0.0
-	for i := range a {
-		diff := a[i] - b[i]
-		d += diff * diff
-	}
-	return math.Sqrt(d)
 }

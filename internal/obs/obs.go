@@ -99,14 +99,24 @@ const defaultSpanRing = 1024
 
 // NewRegistry returns an empty registry whose span ring holds the most
 // recent defaultSpanRing completed spans.
-func NewRegistry() *Registry {
-	return &Registry{
+func NewRegistry() *Registry { return NewRegistrySpanRing(defaultSpanRing) }
+
+// NewRegistrySpanRing is NewRegistry with an explicit span ring capacity,
+// for callers (trace-completeness tests, long-trace debugging) that need
+// more history than the default 1024 spans before the ring overwrites.
+func NewRegistrySpanRing(capacity int) *Registry {
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		help:     make(map[string]string),
-		tracer:   newTracer(defaultSpanRing),
+		tracer:   newTracer(capacity),
 	}
+	// The ring drops oldest spans silently under load; surface the loss
+	// as a counter so the observer observes itself.
+	r.tracer.droppedC = r.Counter("walrus_obs_spans_dropped_total",
+		"Completed spans overwritten by span-ring wraparound before they could be read.")
+	return r
 }
 
 // validName reports whether name fits the Prometheus metric-name grammar

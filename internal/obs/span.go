@@ -17,6 +17,7 @@ type Attr struct {
 type SpanRecord struct {
 	ID       uint64        `json:"id"`
 	Parent   uint64        `json:"parent,omitempty"`
+	Trace    uint64        `json:"trace,omitempty"`
 	Name     string        `json:"name"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
@@ -24,11 +25,15 @@ type SpanRecord struct {
 }
 
 // Tracer records completed spans into a bounded ring: once full, new
-// spans overwrite the oldest and the Dropped counter advances. Safe for
-// concurrent use; all methods are no-ops on a nil receiver.
+// spans overwrite the oldest, the Dropped counter advances, and — when
+// the tracer belongs to a registry — the walrus_obs_spans_dropped_total
+// counter advances with it, so the observer's own losses are observable.
+// Safe for concurrent use; all methods are no-ops on a nil receiver.
 type Tracer struct {
-	seq     atomic.Uint64
-	dropped atomic.Uint64
+	seq      atomic.Uint64
+	traceSeq atomic.Uint64
+	dropped  atomic.Uint64
+	droppedC *Counter // registry mirror of dropped; nil outside a registry
 
 	mu   sync.Mutex
 	ring []SpanRecord // guarded by mu
@@ -51,15 +56,19 @@ type Span struct {
 	rec    SpanRecord
 }
 
-// StartSpan begins a root span (nil on a nil registry).
+// StartSpan begins a root span under a fresh trace id (nil on a nil
+// registry). Children created with Child inherit the trace, so the whole
+// tree of one request shares one id — the value surfaced in the
+// X-Walrus-Trace response header and fetched back via TraceSpans.
 func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	return r.tracer.start(name, 0)
+	t := r.tracer
+	return t.start(name, 0, t.traceSeq.Add(1))
 }
 
-func (t *Tracer) start(name string, parent uint64) *Span {
+func (t *Tracer) start(name string, parent, trace uint64) *Span {
 	if t == nil {
 		return nil
 	}
@@ -68,18 +77,20 @@ func (t *Tracer) start(name string, parent uint64) *Span {
 		rec: SpanRecord{
 			ID:     t.seq.Add(1),
 			Parent: parent,
+			Trace:  trace,
 			Name:   name,
 			Start:  Clock(),
 		},
 	}
 }
 
-// Child begins a span parented to s (nil when s is nil).
+// Child begins a span parented to s, inheriting s's trace id (nil when s
+// is nil).
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tracer.start(name, s.rec.ID)
+	return s.tracer.start(name, s.rec.ID, s.rec.Trace)
 }
 
 // ID returns the span id (0 for a nil span).
@@ -88,6 +99,14 @@ func (s *Span) ID() uint64 {
 		return 0
 	}
 	return s.rec.ID
+}
+
+// TraceID returns the span's trace id (0 for a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.Trace
 }
 
 // SetAttr attaches a numeric attribute to the span.
@@ -143,6 +162,7 @@ func (t *Tracer) record(rec SpanRecord) {
 	t.ring[t.next] = rec
 	t.next = (t.next + 1) % len(t.ring)
 	t.dropped.Add(1)
+	t.droppedC.Inc()
 }
 
 // Spans returns the completed spans oldest-first plus the number of
@@ -161,4 +181,23 @@ func (t *Tracer) Spans() (spans []SpanRecord, dropped uint64) {
 		spans = append(spans, t.ring[:t.next]...)
 	}
 	return spans, t.dropped.Load()
+}
+
+// TraceSpans returns the completed spans of one trace, oldest-first. The
+// ring is the trace store — bounded by construction — so a trace whose
+// spans have been overwritten comes back partial (or empty): check
+// Dropped (walrus_obs_spans_dropped_total) when a trace looks truncated.
+// Empty on a nil receiver or an unknown trace id.
+func (t *Tracer) TraceSpans(trace uint64) []SpanRecord {
+	if t == nil || trace == 0 {
+		return nil
+	}
+	all, _ := t.Spans()
+	var out []SpanRecord
+	for _, s := range all {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
 }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+)
+
+// Live trace propagation. A request entry point (internal/serve, a CLI)
+// starts a root span with Registry.StartSpan, stores it in the request
+// context with ContextWithSpan, and every layer below — snapshot query
+// stages, the sharded fan-out, parallel tasks — retrieves it with
+// SpanFromContext and hangs children off it. The result is a real
+// parent/child tree sharing one trace id, recorded live as each span
+// ends, instead of the retroactive reconstruction earlier versions did.
+// All helpers tolerate nil spans and contexts without one, so the
+// tracing-off path stays a couple of pointer checks.
+
+// spanKey is the context key for the active span.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying s as the active span.
+// Passing a nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// FormatTraceID renders a trace id the way it appears on the wire: 16
+// lowercase hex digits (the X-Walrus-Trace header, /v1/trace/{id}).
+func FormatTraceID(trace uint64) string {
+	return fmt.Sprintf("%016x", trace)
+}
+
+// ParseTraceID parses a wire-format trace id; it accepts any hex string
+// that fits uint64, so hand-typed ids without leading zeros work too.
+func ParseTraceID(s string) (uint64, error) {
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, fmt.Errorf("obs: bad trace id %q", s)
+	}
+	return id, nil
+}

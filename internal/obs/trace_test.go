@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestTraceSpanRingOverflow drives more spans through the ring than it
+// holds and checks the overflow is not silent: the tracer's Dropped
+// count and the walrus_obs_spans_dropped_total counter both advance by
+// exactly the overflow, and the ring retains the newest spans.
+func TestTraceSpanRingOverflow(t *testing.T) {
+	const capacity, total = 64, 200
+	r := NewRegistrySpanRing(capacity)
+	for i := 0; i < total; i++ {
+		sp := r.StartSpan(fmt.Sprintf("op-%d", i))
+		sp.End()
+	}
+	spans, dropped := r.Tracer().Spans()
+	if len(spans) != capacity {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), capacity)
+	}
+	if want := uint64(total - capacity); dropped != want {
+		t.Errorf("Spans() dropped = %d, want %d", dropped, want)
+	}
+	if got := r.Snapshot().Counters["walrus_obs_spans_dropped_total"]; got != uint64(total-capacity) {
+		t.Errorf("walrus_obs_spans_dropped_total = %d, want %d", got, total-capacity)
+	}
+	// Oldest-first: the survivors are the last `capacity` spans recorded.
+	if spans[0].Name != fmt.Sprintf("op-%d", total-capacity) {
+		t.Errorf("oldest surviving span is %q, want op-%d", spans[0].Name, total-capacity)
+	}
+	if spans[len(spans)-1].Name != fmt.Sprintf("op-%d", total-1) {
+		t.Errorf("newest span is %q, want op-%d", spans[len(spans)-1].Name, total-1)
+	}
+}
+
+// TestTraceContextPropagation checks the live-tracing plumbing: a root
+// span rides a context, children inherit its trace id and parent link,
+// and TraceSpans reassembles exactly that trace from the ring.
+func TestTraceContextPropagation(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("request")
+	if root.TraceID() == 0 {
+		t.Fatal("root span has no trace id")
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	got := SpanFromContext(ctx)
+	if got != root {
+		t.Fatalf("SpanFromContext = %p, want %p", got, root)
+	}
+	child := got.Child("query")
+	grand := child.Child("query.probe")
+	grand.End()
+	child.End()
+	root.End()
+	// An unrelated trace must not leak into the lookup.
+	other := r.StartSpan("other")
+	other.End()
+
+	spans := r.Tracer().TraceSpans(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("TraceSpans returned %d spans, want 3: %+v", len(spans), spans)
+	}
+	byName := map[string]SpanRecord{}
+	roots := 0
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.Trace != root.TraceID() {
+			t.Errorf("span %q has trace %d, want %d", s.Name, s.Trace, root.TraceID())
+		}
+		if s.Parent == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("trace has %d roots, want 1", roots)
+	}
+	if byName["query"].Parent != byName["request"].ID {
+		t.Errorf("query span parent = %d, want request id %d", byName["query"].Parent, byName["request"].ID)
+	}
+	if byName["query.probe"].Parent != byName["query"].ID {
+		t.Errorf("probe span parent = %d, want query id %d", byName["query.probe"].Parent, byName["query"].ID)
+	}
+
+	if id, err := ParseTraceID(FormatTraceID(root.TraceID())); err != nil || id != root.TraceID() {
+		t.Errorf("trace id round-trip: got %d, %v; want %d", id, err, root.TraceID())
+	}
+	if _, err := ParseTraceID("zz"); err == nil {
+		t.Error("ParseTraceID accepted garbage")
+	}
+
+	// Nil safety: a context without a span and nil span methods.
+	if s := SpanFromContext(context.Background()); s != nil {
+		t.Errorf("SpanFromContext on empty ctx = %v", s)
+	}
+	var nilSpan *Span
+	if ctx2 := ContextWithSpan(context.Background(), nilSpan); SpanFromContext(ctx2) != nil {
+		t.Error("nil span stored in context")
+	}
+	if nilSpan.TraceID() != 0 {
+		t.Error("nil span has a trace id")
+	}
+}

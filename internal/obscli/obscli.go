@@ -8,7 +8,10 @@ package obscli
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
+	"time"
 
 	"walrus/internal/obs"
 )
@@ -29,6 +32,41 @@ func Register() *Flags {
 	flag.StringVar(&f.Addr, "obs-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	flag.BoolVar(&f.Snapshot, "obs-snapshot", false, "dump a metrics table to stderr before exiting")
 	return f
+}
+
+// LogFlags holds the structured-logging knobs shared by the walrus
+// commands: the slog output format and the slow-query threshold.
+type LogFlags struct {
+	// Format selects the slog handler: "text" (default) or "json".
+	Format string
+	// SlowQueryMS logs any query at least this slow; 0 disables.
+	SlowQueryMS int
+}
+
+// RegisterLog installs -log-format and -slow-query-ms on the default
+// flag set. Call before flag.Parse.
+func RegisterLog() *LogFlags {
+	lf := &LogFlags{}
+	flag.StringVar(&lf.Format, "log-format", "text", "structured log format: text or json")
+	flag.IntVar(&lf.SlowQueryMS, "slow-query-ms", 0, "log queries slower than this many milliseconds (0 = disabled)")
+	return lf
+}
+
+// Logger builds the slog.Logger the flags describe, writing to w.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	switch lf.Format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown -log-format %q (want text or json)", lf.Format)
+	}
+}
+
+// SlowQueryThreshold converts -slow-query-ms to a duration.
+func (lf *LogFlags) SlowQueryThreshold() time.Duration {
+	return time.Duration(lf.SlowQueryMS) * time.Millisecond
 }
 
 // Start creates a registry when any observability flag is set and starts

@@ -411,6 +411,22 @@ func (t *Tree) SearchAll(q Rect) ([]Entry, error) {
 	return out, err
 }
 
+// SearchAllCounting is SearchAll plus the number of nodes the search
+// visited, counted unconditionally — the query-EXPLAIN path needs the
+// visit count per probe even when no metrics registry is attached.
+func (t *Tree) SearchAllCounting(q Rect) ([]Entry, int, error) {
+	if q.Dim() != t.dim {
+		return nil, 0, fmt.Errorf("rstar: query has dim %d, tree has %d", q.Dim(), t.dim)
+	}
+	var out []Entry
+	visits := 0
+	_, err := searchFrom(t.store.Get, t.root, q, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	}, &visits)
+	return out, visits, err
+}
+
 // Delete removes one data entry whose rectangle equals r and whose payload
 // equals data, reporting whether an entry was removed. Underflowing nodes
 // are dissolved and their entries reinserted (condense-tree).

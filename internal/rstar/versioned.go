@@ -452,3 +452,20 @@ func (tv *TreeView) SearchAll(q Rect) ([]Entry, error) {
 	})
 	return out, err
 }
+
+// SearchAllCounting is SearchAll plus the number of nodes the search
+// visited at the pinned epoch, counted unconditionally for the
+// query-EXPLAIN path.
+func (tv *TreeView) SearchAllCounting(q Rect) ([]Entry, int, error) {
+	if q.Dim() != tv.dim {
+		return nil, 0, fmt.Errorf("rstar: query has dim %d, tree has %d", q.Dim(), tv.dim)
+	}
+	get := func(id NodeID) (*Node, error) { return tv.vs.getAt(id, tv.epoch) }
+	var out []Entry
+	visits := 0
+	_, err := searchFrom(get, tv.root, q, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	}, &visits)
+	return out, visits, err
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"walrus/internal/obs"
+)
+
+// explainSchema flattens a decoded JSON value into sorted key paths
+// (arrays contribute their first element under a "[]" segment), so the
+// golden file pins the wire shape of the explain payload without pinning
+// run-dependent values.
+func explainSchema(v any) []string {
+	var paths []string
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, child := range x {
+				walk(prefix+"."+k, child)
+			}
+		case []any:
+			if len(x) > 0 {
+				walk(prefix+"[]", x[0])
+			} else {
+				paths = append(paths, prefix+"[]")
+			}
+		default:
+			paths = append(paths, prefix)
+		}
+	}
+	walk("explain", v)
+	sort.Strings(paths)
+	return paths
+}
+
+// TestExplainSchemaGolden pins the JSON schema of /v1/search?explain=1
+// against testdata/explain_schema.golden: the flattened key paths of the
+// explain object plus the stage sequence. A field rename or reorder is an
+// API break for every client parsing EXPLAIN output — regenerate the
+// golden deliberately with WALRUS_UPDATE_GOLDEN=1 when the schema is
+// meant to change.
+func TestExplainSchemaGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Metrics: reg})
+	for i := 0; i < 3; i++ {
+		w := do(s, "POST", fmt.Sprintf("/v1/images?id=img-%d", i), "image/x-portable-pixmap", testPPM(t, i))
+		if w.Code != http.StatusCreated {
+			t.Fatalf("ingest img-%d: got %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	// refine=1 forces the refine stage so the golden covers every stage
+	// an unsharded query can emit.
+	w := do(s, "POST", "/v1/search?explain=1&refine=1&k=5", "image/x-portable-pixmap", testPPM(t, 0))
+	if w.Code != http.StatusOK {
+		t.Fatalf("search: got %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Walrus-Trace"); got == "" {
+		t.Fatal("explained search response missing X-Walrus-Trace header")
+	}
+	var resp map[string]any
+	decodeBody(t, w, &resp)
+	explain, ok := resp["explain"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no explain object: %v", resp)
+	}
+
+	var b strings.Builder
+	b.WriteString("# Flattened JSON schema of the /v1/search?explain=1 payload.\n")
+	b.WriteString("# Regenerate with WALRUS_UPDATE_GOLDEN=1 go test -run TestExplainSchemaGolden ./internal/serve\n")
+	for _, p := range explainSchema(explain) {
+		b.WriteString(p)
+		b.WriteString("\n")
+	}
+	b.WriteString("stages:")
+	stages, _ := explain["stages"].([]any)
+	for _, st := range stages {
+		m, _ := st.(map[string]any)
+		b.WriteString(" ")
+		b.WriteString(fmt.Sprint(m["stage"]))
+	}
+	b.WriteString("\n")
+	got := b.String()
+
+	golden := filepath.Join("testdata", "explain_schema.golden")
+	if os.Getenv("WALRUS_UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with WALRUS_UPDATE_GOLDEN=1 to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("explain schema drifted from %s:\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+
+	// The trace the header names is fetchable and non-empty.
+	tw := do(s, "GET", "/v1/trace/"+w.Header().Get("X-Walrus-Trace"), "", nil)
+	if tw.Code != http.StatusOK {
+		t.Fatalf("GET /v1/trace: got %d: %s", tw.Code, tw.Body.String())
+	}
+	var trace struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	decodeBody(t, tw, &trace)
+	if len(trace.Spans) == 0 {
+		t.Fatal("trace endpoint returned no spans for the explained query")
+	}
+}

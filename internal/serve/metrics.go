@@ -26,6 +26,8 @@ type metrics struct {
 	coalesceBatch    *obs.Histogram
 	coalesceFlushSec *obs.Histogram
 
+	slowQueries *obs.Counter
+
 	draining *obs.Gauge
 	drains   *obs.Counter
 }
@@ -53,6 +55,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		coalescedWrites:  reg.Counter("walrus_serve_coalesced_writes_total", "Images committed through coalesced flushes."),
 		coalesceBatch:    reg.Histogram("walrus_serve_coalesce_batch_size", "Images per coalescer flush.", coalesceBatchBuckets),
 		coalesceFlushSec: reg.Histogram("walrus_serve_coalesce_flush_seconds", "Latency of one coalescer flush (AddBatch commit).", nil),
+
+		slowQueries: reg.Counter("walrus_serve_slow_queries_total", "Searches whose engine time met Config.SlowQueryThreshold."),
 
 		draining: reg.Gauge("walrus_serve_draining", "1 while the server is draining, 0 otherwise."),
 		drains:   reg.Counter("walrus_serve_drains_total", "Graceful drains initiated."),

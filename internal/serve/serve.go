@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -87,11 +88,22 @@ type Config struct {
 
 	// Metrics, when non-nil, receives the walrus_serve_* instruments and
 	// has the internal/obs mux (/metrics, /debug/...) mounted on the
-	// server's own handler.
+	// server's own handler. It also enables live tracing: every admitted
+	// request runs under a root span whose trace id is returned in the
+	// X-Walrus-Trace response header and fetchable at /v1/trace/{id}.
 	Metrics *obs.Registry
 	// Logf, when non-nil, receives server-side error logs (e.g. response
 	// encode failures after the status line was sent).
 	Logf func(format string, args ...any)
+
+	// Log, when non-nil, receives structured logs: one access record per
+	// admitted request at info level, and slow-query records at warn.
+	Log *slog.Logger
+	// SlowQueryThreshold, when positive, logs every search whose engine
+	// elapsed time meets it through Log — trace id, effective parameters
+	// and the full candidate funnel including per-shard timings. 0
+	// disables slow-query logging.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/search", s.admitted(m.searchRequests, s.handleSearch))
 	s.mux.HandleFunc("GET /v1/search", s.admitted(m.searchRequests, s.handleSearch))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -238,7 +251,9 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // admitted wraps a handler with the production envelope: drain check,
-// per-request deadline, admission control, and latency accounting.
+// per-request deadline, admission control, live request span (trace id
+// on the response, context-propagated into the engine), latency
+// accounting and the access log.
 func (s *Server) admitted(reqs *obs.Counter, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -257,9 +272,87 @@ func (s *Server) admitted(reqs *obs.Counter, h http.HandlerFunc) http.HandlerFun
 		defer s.adm.release()
 		reqs.Inc()
 		start := obs.Clock()
-		h(w, r)
-		s.m.requestSeconds.Observe(obs.Since(start).Seconds())
+		var span *obs.Span
+		if s.cfg.Metrics != nil {
+			span = s.cfg.Metrics.StartSpan("request")
+			// The trace id goes on the wire before the handler runs, so even
+			// failed requests hand the client a handle into /v1/trace/{id}.
+			w.Header().Set("X-Walrus-Trace", obs.FormatTraceID(span.TraceID()))
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		span.SetAttr("status", int64(sw.code()))
+		span.End()
+		elapsed := obs.Since(start)
+		s.m.requestSeconds.Observe(elapsed.Seconds())
+		if s.cfg.Log != nil {
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.code()),
+				slog.Duration("elapsed", elapsed),
+			}
+			if span != nil {
+				attrs = append(attrs, slog.String("trace", obs.FormatTraceID(span.TraceID())))
+			}
+			s.cfg.Log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
 	}
+}
+
+// statusWriter captures the response status for the access log and the
+// request span; code() defaults to 200 when the handler never called
+// WriteHeader explicitly.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// handleTrace serves the live span tree of one trace id, as returned in
+// the X-Walrus-Trace header. The span ring is the whole trace store, so
+// old traces expire as the ring wraps; walrus_obs_spans_dropped_total
+// counts what has been lost.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Metrics == nil {
+		s.failStatus(w, http.StatusNotFound, "tracing disabled: server runs without a metrics registry")
+		return
+	}
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		s.failStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spans := s.cfg.Metrics.Tracer().TraceSpans(id)
+	if len(spans) == 0 {
+		s.failStatus(w, http.StatusNotFound, "trace not found (it may have expired from the span ring)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"trace": obs.FormatTraceID(id),
+		"spans": spans,
+	})
 }
 
 // ingestPayload is the JSON batch-ingest body: PPM bytes are base64 in
@@ -341,7 +434,9 @@ type matchResult struct {
 	MatchingRegions int     `json:"matching_regions"`
 }
 
-// searchResponse is the /v1/search reply.
+// searchResponse is the /v1/search reply. Explain is present only when
+// the request asked for explain=1: the stage-by-stage candidate funnel
+// of this query.
 type searchResponse struct {
 	Matches []matchResult `json:"matches"`
 	Stats   struct {
@@ -350,6 +445,7 @@ type searchResponse struct {
 		CandidateImages  int     `json:"candidate_images"`
 		ElapsedSeconds   float64 `json:"elapsed_seconds"`
 	} `json:"stats"`
+	Explain *walrus.QueryTrace `json:"explain,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -387,6 +483,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			p.Refine = b
 		}
 	}
+	explain := false
+	if v := q.Get("explain"); v != "" && parseErr == nil {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			parseErr = fmt.Errorf("bad explain=%q", v)
+		} else {
+			explain = b
+		}
+	}
 	var rx, ry, rw, rh int
 	hasRegion := q.Get("region") != ""
 	if hasRegion && parseErr == nil {
@@ -399,6 +504,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The funnel accumulator rides the context when the client asked for
+	// it, or when slow-query logging may need it after the fact.
+	ctx := r.Context()
+	var qt *walrus.QueryTrace
+	if explain || s.cfg.SlowQueryThreshold > 0 {
+		ctx, qt = walrus.WithQueryTrace(ctx)
+	}
+
 	var (
 		matches []walrus.Match
 		stats   walrus.QueryStats
@@ -409,7 +522,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.failStatus(w, http.StatusBadRequest, "region= cannot be combined with id=")
 			return
 		}
-		matches, stats, err = s.backend.QueryByID(r.Context(), id, p)
+		matches, stats, err = s.backend.QueryByID(ctx, id, p)
 	} else {
 		if r.Method != http.MethodPost {
 			s.failStatus(w, http.StatusBadRequest, "GET search requires id=; POST a PPM body otherwise")
@@ -423,16 +536,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if hasRegion {
-			matches, stats, err = s.backend.QuerySceneContext(r.Context(), im, rx, ry, rw, rh, p)
+			matches, stats, err = s.backend.QuerySceneContext(ctx, im, rx, ry, rw, rh, p)
 		} else {
-			matches, stats, err = s.backend.QueryContext(r.Context(), im, p)
+			matches, stats, err = s.backend.QueryContext(ctx, im, p)
 		}
 	}
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	if qt != nil && s.cfg.SlowQueryThreshold > 0 && stats.Elapsed >= s.cfg.SlowQueryThreshold {
+		s.m.slowQueries.Inc()
+		s.logSlowQuery(r, qt, stats)
+	}
 	resp := searchResponse{Matches: make([]matchResult, len(matches))}
+	if explain {
+		resp.Explain = qt
+	}
 	for i, m := range matches {
 		resp.Matches[i] = matchResult{ID: m.ID, Similarity: m.Similarity, MatchingRegions: m.MatchingRegions}
 	}
@@ -441,6 +561,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.CandidateImages = stats.CandidateImages
 	resp.Stats.ElapsedSeconds = stats.Elapsed.Seconds()
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// logSlowQuery emits one structured slow-query record: trace id,
+// effective parameters, the funnel's totals and each shard's share of
+// the work, so a slow search is diagnosable from the log line alone.
+func (s *Server) logSlowQuery(r *http.Request, qt *walrus.QueryTrace, stats walrus.QueryStats) {
+	if s.cfg.Log == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("trace", qt.TraceID),
+		slog.Duration("elapsed", stats.Elapsed),
+		slog.Float64("epsilon", qt.Params.Epsilon),
+		slog.Float64("tau", qt.Params.Tau),
+		slog.Int("limit", qt.Params.Limit),
+		slog.Bool("refine", qt.Params.Refine),
+		slog.Int("query_regions", qt.QueryRegions),
+		slog.Int("regions_retrieved", stats.RegionsRetrieved),
+		slog.Int("candidates", stats.CandidateImages),
+		slog.Int("matches", qt.Matches),
+	}
+	for _, sh := range qt.Shards {
+		attrs = append(attrs, slog.Group(fmt.Sprintf("shard%d", sh.Shard),
+			slog.Int64("probe_us", sh.ProbeNS/1000),
+			slog.Int64("score_us", sh.ScoreNS/1000),
+			slog.Int("candidates", sh.CandidateImages),
+			slog.Int("matches", sh.Matches)))
+	}
+	s.cfg.Log.LogAttrs(r.Context(), slog.LevelWarn, "slow query", attrs...)
 }
 
 // statsResponse is the /v1/stats reply.

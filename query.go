@@ -60,7 +60,9 @@ func (s *Snapshot) extractStage(im *imgio.Image) ([]region.Region, error) {
 // its own slot and the slots are merged in query-region order by the
 // aggregate stage, which keeps pairsByImage — and therefore scores,
 // stats and rankings — identical to the serial query.
-func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p QueryParams, workers int) ([][]probeHit, error) {
+// A nil tc (the common case) adds nothing to the probe path; an EXPLAIN
+// query passes a collector and each task records its region's slot.
+func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p QueryParams, workers int, tc *traceCollector) ([][]probeHit, error) {
 	perRegion := make([][]probeHit, len(qRegions))
 	err := parallel.ForErr(len(qRegions), workers, func(qi int) error {
 		// The deadline check rides each parallel task: a query whose
@@ -70,7 +72,16 @@ func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p Q
 		}
 		qr := qRegions[qi]
 		probe := signatureRect(s.core.opts.UseBBox, qr).Expand(p.Epsilon)
-		entries, err := s.view.SearchAll(probe)
+		var entries []rstar.Entry
+		var err error
+		if tc == nil {
+			entries, err = s.view.SearchAll(probe)
+		} else {
+			var visits int
+			entries, visits, err = s.view.SearchAllCounting(probe)
+			tc.indexHits[qi] = len(entries)
+			tc.nodeVisits[qi] = visits
+		}
 		if err != nil {
 			return err
 		}
@@ -98,6 +109,9 @@ func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p Q
 			hits = append(hits, probeHit{image: ref.Image, pair: match.Pair{Q: qi, T: ref.Local}})
 		}
 		perRegion[qi] = hits
+		if tc != nil {
+			tc.probeOut[qi] = len(hits)
+		}
 		return nil
 	})
 	return perRegion, err
@@ -108,13 +122,18 @@ func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p Q
 // carry one, filtering each region's hit list in place. Like the probe
 // and score stages, every task checks the deadline so an expired
 // context stops the refinement fan-out.
-func (s *Snapshot) refineStage(ctx context.Context, qRegions []region.Region, perRegion [][]probeHit, p QueryParams, workers int) error {
+func (s *Snapshot) refineStage(ctx context.Context, qRegions []region.Region, perRegion [][]probeHit, p QueryParams, workers int, tc *traceCollector) error {
 	if !p.Refine {
 		return nil
 	}
 	return parallel.ForErr(len(perRegion), workers, func(qi int) error {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if tc != nil {
+			// Record the pass-through count up front so regions without a
+			// fine signature (refined nowhere below) still fill their slot.
+			tc.refineOut[qi] = len(perRegion[qi])
 		}
 		qr := qRegions[qi]
 		if qr.Fine == nil {
@@ -135,6 +154,9 @@ func (s *Snapshot) refineStage(ctx context.Context, qRegions []region.Region, pe
 			kept = append(kept, h)
 		}
 		perRegion[qi] = kept
+		if tc != nil {
+			tc.refineOut[qi] = len(kept)
+		}
 		return nil
 	})
 }
@@ -229,12 +251,40 @@ func (s *Snapshot) QueryContext(ctx context.Context, im *imgio.Image, p QueryPar
 	if err := ctx.Err(); err != nil {
 		return nil, QueryStats{}, err
 	}
+	qspan := s.beginQuerySpan(ctx)
+	es := qspan.Child("query.extract")
 	qRegions, err := s.extractStage(im)
 	if err != nil {
+		failSpans(es, qspan)
 		return nil, QueryStats{}, err
 	}
+	es.End()
 	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: statsSince(start)}
-	return s.finishQuery(ctx, qRegions, im.W*im.H, p, start, stats)
+	return s.finishQuery(ctx, qRegions, im.W*im.H, p, start, stats, qspan)
+}
+
+// beginQuerySpan opens the live "query" span: a child of the request
+// span when the context carries one (the serving layer's root), else a
+// fresh root trace on the attached registry, else nil — tracing off, and
+// every downstream span call is a nil no-op.
+func (s *Snapshot) beginQuerySpan(ctx context.Context) *obs.Span {
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		return parent.Child("query")
+	}
+	if m := s.om.Load(); m != nil {
+		return m.reg.StartSpan("query")
+	}
+	return nil
+}
+
+// failSpans ends the still-open spans of a failed query, innermost
+// first, marking each with an error attribute so partial traces are
+// distinguishable from completed ones.
+func failSpans(spans ...*obs.Span) {
+	for _, sp := range spans {
+		sp.SetAttr("error", 1)
+		sp.End()
+	}
 }
 
 // QueryByID runs the staged pipeline using the stored regions of an
@@ -254,38 +304,73 @@ func (s *Snapshot) QueryByID(ctx context.Context, id string, p QueryParams) ([]M
 	if !ok {
 		return nil, QueryStats{}, fmt.Errorf("walrus: query image %q: %w", id, ErrUnknownID)
 	}
+	qspan := s.beginQuerySpan(ctx)
+	es := qspan.Child("query.extract")
 	rec := s.core.images[idx]
+	es.End()
 	stats := QueryStats{QueryRegions: len(rec.Regions), ExtractTime: statsSince(start)}
-	return s.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats)
+	return s.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats, qspan)
 }
 
 // finishQuery is the shared probe→refine→aggregate→score tail of the
 // pipeline, entered with the query regions already in hand (extracted
-// from an image, or read back from the catalog for QueryByID).
-func (s *Snapshot) finishQuery(ctx context.Context, qRegions []region.Region, qArea int, p QueryParams, start time.Time, stats QueryStats) ([]Match, QueryStats, error) {
+// from an image, or read back from the catalog for QueryByID). The live
+// "query" span qspan (nil when tracing is off) gains probe and score
+// children; an EXPLAIN context additionally routes every stage's counts
+// through a traceCollector into the context's QueryTrace.
+func (s *Snapshot) finishQuery(ctx context.Context, qRegions []region.Region, qArea int, p QueryParams, start time.Time, stats QueryStats, qspan *obs.Span) ([]Match, QueryStats, error) {
 	probeStart := statsClock()
 	workers := parallel.Workers(p.Parallelism)
+	qt := queryTraceFrom(ctx)
+	var tc *traceCollector
+	if qt != nil {
+		tc = newTraceCollector(len(qRegions), s.core.version)
+	}
 
-	perRegion, err := s.probeStage(ctx, qRegions, p, workers)
+	ps := qspan.Child("query.probe")
+	perRegion, err := s.probeStage(ctx, qRegions, p, workers, tc)
 	if err != nil {
+		failSpans(ps, qspan)
 		return nil, stats, err
 	}
-	if err := s.refineStage(ctx, qRegions, perRegion, p, workers); err != nil {
+	if tc != nil {
+		tc.probeNS = statsSince(probeStart).Nanoseconds()
+	}
+	if err := s.refineStage(ctx, qRegions, perRegion, p, workers, tc); err != nil {
+		failSpans(ps, qspan)
 		return nil, stats, err
+	}
+	if tc != nil {
+		tc.refineNS = statsSince(probeStart).Nanoseconds() - tc.probeNS
 	}
 	pairsByImage, retrieved := aggregateStage(perRegion)
+	if tc != nil {
+		tc.aggregateNS = statsSince(probeStart).Nanoseconds() - tc.probeNS - tc.refineNS
+		tc.candidates = len(pairsByImage)
+	}
 	stats.RegionsRetrieved = retrieved
 	stats.CandidateImages = len(pairsByImage)
 	stats.ProbeTime = statsSince(probeStart)
+	ps.End()
 	scoreStart := statsClock()
 
+	sspan := qspan.Child("query.score")
 	matches, err := s.scoreStage(ctx, qRegions, qArea, pairsByImage, p, workers)
 	if err != nil {
+		failSpans(sspan, qspan)
 		return nil, stats, err
 	}
+	sspan.End()
 	stats.ScoreTime = statsSince(scoreStart)
 	stats.Elapsed = statsSince(start)
-	s.observeQuery(start, probeStart, scoreStart, stats)
+	if tc != nil {
+		tc.scoreNS = stats.ScoreTime.Nanoseconds()
+		tc.matches = len(matches)
+	}
+	if qt != nil {
+		qt.fill(qspan, false, p, len(qRegions), []*traceCollector{tc}, stats, len(matches), len(matches), 0)
+	}
+	s.observeQuery(qspan, stats)
 	return matches, stats, nil
 }
 
@@ -310,13 +395,17 @@ func (s *Snapshot) QuerySceneContext(ctx context.Context, im *imgio.Image, x, y,
 	return s.QueryContext(ctx, crop, p)
 }
 
-// observeQuery publishes one successful query into the registry: the
-// same quantities Query returns in QueryStats, re-emitted as counters
-// and phase histograms, plus a query span with extract/probe/score
-// children. The spans are recorded retroactively from the timings
-// QueryStats already measured, so observability adds no clock reads to
-// the query path.
-func (s *Snapshot) observeQuery(start, probeStart, scoreStart time.Time, stats QueryStats) {
+// observeQuery finishes one successful query's observability: the live
+// query span gains its funnel attributes and ends (recording into the
+// span ring), and the same quantities Query returns in QueryStats are
+// re-emitted as counters and phase histograms. The span may outlive the
+// registry handle — a request-scoped span keeps recording into the
+// serving layer's registry even if SetMetrics detaches the database's.
+func (s *Snapshot) observeQuery(qspan *obs.Span, stats QueryStats) {
+	qspan.SetAttr("query_regions", int64(stats.QueryRegions))
+	qspan.SetAttr("regions_retrieved", int64(stats.RegionsRetrieved))
+	qspan.SetAttr("candidates", int64(stats.CandidateImages))
+	qspan.End()
 	m := s.om.Load()
 	if m == nil {
 		return
@@ -329,11 +418,4 @@ func (s *Snapshot) observeQuery(start, probeStart, scoreStart time.Time, stats Q
 	m.extractSeconds.Observe(stats.ExtractTime.Seconds())
 	m.probeSeconds.Observe(stats.ProbeTime.Seconds())
 	m.scoreSeconds.Observe(stats.ScoreTime.Seconds())
-	root := m.reg.RecordSpan("query", 0, start, stats.Elapsed,
-		obs.Attr{Key: "query_regions", Value: int64(stats.QueryRegions)},
-		obs.Attr{Key: "regions_retrieved", Value: int64(stats.RegionsRetrieved)},
-		obs.Attr{Key: "candidates", Value: int64(stats.CandidateImages)})
-	m.reg.RecordSpan("query.extract", root, start, stats.ExtractTime)
-	m.reg.RecordSpan("query.probe", root, probeStart, stats.ProbeTime)
-	m.reg.RecordSpan("query.score", root, scoreStart, stats.ScoreTime)
 }

@@ -476,14 +476,33 @@ func (ss *ShardedSnapshot) QueryContext(ctx context.Context, im *imgio.Image, p 
 	if err := ctx.Err(); err != nil {
 		return nil, QueryStats{}, err
 	}
+	qspan := ss.beginQuerySpan(ctx)
+	es := qspan.Child("query.extract")
 	// Every shard carries the same extractor configuration, so shard 0's
 	// snapshot extracts for all of them.
 	qRegions, err := ss.snaps[0].extractStage(im)
 	if err != nil {
+		failSpans(es, qspan)
 		return nil, QueryStats{}, err
 	}
+	es.End()
 	stats := QueryStats{QueryRegions: len(qRegions), ExtractTime: statsSince(start)}
-	return ss.finishQuery(ctx, qRegions, im.W*im.H, p, start, stats)
+	return ss.finishQuery(ctx, qRegions, im.W*im.H, p, start, stats, qspan)
+}
+
+// beginQuerySpan opens the live "query" span for a cross-shard query: a
+// child of the request span when the context carries one, else a fresh
+// root trace on the fleet registry, else nil (tracing off).
+func (ss *ShardedSnapshot) beginQuerySpan(ctx context.Context) *obs.Span {
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		return parent.Child("query")
+	}
+	if ss.om != nil {
+		if m := ss.om.Load(); m != nil {
+			return m.reg.StartSpan("query")
+		}
+	}
+	return nil
 }
 
 // QueryByID runs the pipeline using the stored regions of an indexed
@@ -502,31 +521,71 @@ func (ss *ShardedSnapshot) QueryByID(ctx context.Context, id string, p QueryPara
 	if !ok {
 		return nil, QueryStats{}, fmt.Errorf("walrus: query image %q: %w", id, ErrUnknownID)
 	}
+	qspan := ss.beginQuerySpan(ctx)
+	es := qspan.Child("query.extract")
 	rec := owner.core.images[idx]
+	es.End()
 	stats := QueryStats{QueryRegions: len(rec.Regions), ExtractTime: statsSince(start)}
-	return ss.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats)
+	return ss.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats, qspan)
 }
 
 // finishQuery fans the probe→refine→aggregate→score tail across every
-// pinned shard and merges the per-shard rankings.
-func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Region, qArea int, p QueryParams, start time.Time, stats QueryStats) ([]Match, QueryStats, error) {
+// pinned shard and merges the per-shard rankings. Each shard's fan-out
+// task hangs its own child spans off the live query span — the shard is
+// visible in the trace tree, not reconstructed after the fact — and an
+// EXPLAIN context gets one traceCollector per shard, merged into the
+// fleet funnel after the merge.
+func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Region, qArea int, p QueryParams, start time.Time, stats QueryStats, qspan *obs.Span) ([]Match, QueryStats, error) {
 	probeStart := statsClock()
 	workers := parallel.Workers(p.Parallelism)
+	qt := queryTraceFrom(ctx)
+	var tcs []*traceCollector
+	if qt != nil {
+		tcs = make([]*traceCollector, len(ss.snaps))
+		for i, sn := range ss.snaps {
+			tcs[i] = newTraceCollector(len(qRegions), sn.core.version)
+		}
+	}
 
+	ps := qspan.Child("query.probe")
 	perShard := make([]map[int][]match.Pair, len(ss.snaps))
 	retrieved := make([]int, len(ss.snaps))
 	err := parallel.ForErr(len(ss.snaps), workers, func(i int) error {
-		perRegion, err := ss.snaps[i].probeStage(ctx, qRegions, p, workers)
+		shspan := ps.Child("query.shard.probe")
+		shspan.SetAttr("shard", int64(i))
+		var tc *traceCollector
+		var shardStart time.Time
+		if tcs != nil {
+			tc = tcs[i]
+			shardStart = statsClock()
+		}
+		perRegion, err := ss.snaps[i].probeStage(ctx, qRegions, p, workers, tc)
 		if err != nil {
+			failSpans(shspan)
 			return err
 		}
-		if err := ss.snaps[i].refineStage(ctx, qRegions, perRegion, p, workers); err != nil {
+		if tc != nil {
+			tc.probeNS = statsSince(shardStart).Nanoseconds()
+		}
+		if err := ss.snaps[i].refineStage(ctx, qRegions, perRegion, p, workers, tc); err != nil {
+			failSpans(shspan)
 			return err
+		}
+		if tc != nil {
+			tc.refineNS = statsSince(shardStart).Nanoseconds() - tc.probeNS
 		}
 		perShard[i], retrieved[i] = aggregateStage(perRegion)
+		if tc != nil {
+			tc.aggregateNS = statsSince(shardStart).Nanoseconds() - tc.probeNS - tc.refineNS
+			tc.candidates = len(perShard[i])
+		}
+		shspan.SetAttr("regions_retrieved", int64(retrieved[i]))
+		shspan.SetAttr("candidates", int64(len(perShard[i])))
+		shspan.End()
 		return nil
 	})
 	if err != nil {
+		failSpans(ps, qspan)
 		return nil, stats, err
 	}
 	for i := range ss.snaps {
@@ -534,6 +593,7 @@ func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Re
 		stats.CandidateImages += len(perShard[i])
 	}
 	stats.ProbeTime = statsSince(probeStart)
+	ps.End()
 	scoreStart := statsClock()
 
 	// Per-shard scoring runs unlimited; the fleet Limit cuts only the
@@ -541,22 +601,51 @@ func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Re
 	// that happens to live on a crowded shard.
 	sub := p
 	sub.Limit = 0
+	sspan := qspan.Child("query.score")
 	perShardMatches := make([][]Match, len(ss.snaps))
 	err = parallel.ForErr(len(ss.snaps), workers, func(i int) error {
+		shspan := sspan.Child("query.shard.score")
+		shspan.SetAttr("shard", int64(i))
+		var tc *traceCollector
+		var shardStart time.Time
+		if tcs != nil {
+			tc = tcs[i]
+			shardStart = statsClock()
+		}
 		m, err := ss.snaps[i].scoreStage(ctx, qRegions, qArea, perShard[i], sub, workers)
 		if err != nil {
+			failSpans(shspan)
 			return err
 		}
 		perShardMatches[i] = m
+		if tc != nil {
+			tc.scoreNS = statsSince(shardStart).Nanoseconds()
+			tc.matches = len(m)
+		}
+		shspan.SetAttr("matches", int64(len(m)))
+		shspan.End()
 		return nil
 	})
 	if err != nil {
+		failSpans(sspan, qspan)
 		return nil, stats, err
 	}
+	var mergeStart time.Time
+	if qt != nil {
+		mergeStart = statsClock()
+	}
 	matches := mergeMatches(perShardMatches, p.Limit)
+	sspan.End()
 	stats.ScoreTime = statsSince(scoreStart)
 	stats.Elapsed = statsSince(start)
-	ss.observeQuery(start, probeStart, scoreStart, stats)
+	if qt != nil {
+		mergedIn := 0
+		for _, m := range perShardMatches {
+			mergedIn += len(m)
+		}
+		qt.fill(qspan, true, p, len(qRegions), tcs, stats, mergedIn, len(matches), statsSince(mergeStart).Nanoseconds())
+	}
+	ss.observeQuery(qspan, stats)
 	return matches, stats, nil
 }
 
@@ -604,10 +693,17 @@ func mergeMatches(perShard [][]Match, limit int) []Match {
 	return merged
 }
 
-// observeQuery publishes one successful cross-shard query into the
-// fleet-level registry handles; per-shard metrics cover only writes,
-// since fan-out queries bypass the shards' own query paths.
-func (ss *ShardedSnapshot) observeQuery(start, probeStart, scoreStart time.Time, stats QueryStats) {
+// observeQuery finishes one successful cross-shard query's
+// observability: the live query span gains the fleet funnel attributes
+// and ends, and the fleet-level counters and histograms advance.
+// Per-shard metrics cover only writes, since fan-out queries bypass the
+// shards' own query paths.
+func (ss *ShardedSnapshot) observeQuery(qspan *obs.Span, stats QueryStats) {
+	qspan.SetAttr("query_regions", int64(stats.QueryRegions))
+	qspan.SetAttr("regions_retrieved", int64(stats.RegionsRetrieved))
+	qspan.SetAttr("candidates", int64(stats.CandidateImages))
+	qspan.SetAttr("shards", int64(len(ss.snaps)))
+	qspan.End()
 	if ss.om == nil {
 		return
 	}
@@ -623,14 +719,6 @@ func (ss *ShardedSnapshot) observeQuery(start, probeStart, scoreStart time.Time,
 	m.extractSeconds.Observe(stats.ExtractTime.Seconds())
 	m.probeSeconds.Observe(stats.ProbeTime.Seconds())
 	m.scoreSeconds.Observe(stats.ScoreTime.Seconds())
-	root := m.reg.RecordSpan("query", 0, start, stats.Elapsed,
-		obs.Attr{Key: "query_regions", Value: int64(stats.QueryRegions)},
-		obs.Attr{Key: "regions_retrieved", Value: int64(stats.RegionsRetrieved)},
-		obs.Attr{Key: "candidates", Value: int64(stats.CandidateImages)},
-		obs.Attr{Key: "shards", Value: int64(len(ss.snaps))})
-	m.reg.RecordSpan("query.extract", root, start, stats.ExtractTime)
-	m.reg.RecordSpan("query.probe", root, probeStart, stats.ProbeTime)
-	m.reg.RecordSpan("query.score", root, scoreStart, stats.ScoreTime)
 }
 
 // Query runs one query against a snapshot of the whole fleet; see

@@ -40,6 +40,10 @@ type snapCore struct {
 // the weaker isolation that implies.
 type indexView interface {
 	SearchAll(q rstar.Rect) ([]rstar.Entry, error)
+	// SearchAllCounting is SearchAll plus the number of index nodes
+	// visited answering the probe — the EXPLAIN path's funnel input. The
+	// GiST backend reports 0: it exposes no traversal counter.
+	SearchAllCounting(q rstar.Rect) ([]rstar.Entry, int, error)
 	Release()
 }
 
@@ -54,6 +58,11 @@ type gistView struct{ g *gistIndex }
 
 func (v gistView) SearchAll(q rstar.Rect) ([]rstar.Entry, error) { return v.g.SearchAll(q) }
 func (v gistView) Release()                                      {}
+
+func (v gistView) SearchAllCounting(q rstar.Rect) ([]rstar.Entry, int, error) {
+	es, err := v.g.SearchAll(q)
+	return es, 0, err
+}
 
 // Snapshot is a stable, point-in-time view of the database: a published
 // catalog version plus an epoch-pinned index view. All methods are
