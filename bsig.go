@@ -1,0 +1,102 @@
+package walrus
+
+import (
+	"math"
+	"math/bits"
+
+	"walrus/internal/wbiis"
+)
+
+// binSigWords is the width of a binary region signature in 64-bit words.
+// 512 bits gives the thermometer code 42 levels per coefficient at the
+// default 12-dimensional signature — fine enough that the conservative
+// Hamming bound (see hammingBound) rejects a useful share of index hits,
+// which a narrower code cannot: at 128 bits the level width exceeds the
+// default epsilon and the bound accepts nearly everything.
+const binSigWords = 8
+
+// binSigBits is the total bit budget of one binary signature.
+const binSigBits = binSigWords * 64
+
+// binSig is the coarse prefilter summary of one indexed region: a
+// thermometer-coded bit vector over the region's wavelet signature plus
+// the signature's standard deviation. Both support cheap rejection tests
+// — popcount Hamming distance and the WBIIS variance acceptance test —
+// applied between the index probe and the exact distance check.
+type binSig struct {
+	Bits  [binSigWords]uint64
+	Sigma float64
+}
+
+// binLevels is the thermometer level count per coefficient: the bit
+// budget split evenly across the signature's dimensions. Dimensions
+// beyond the budget degrade to zero levels, which encodes nothing and
+// makes every Hamming test accept — conservative by construction.
+func binLevels(dim int) int {
+	if dim <= 0 {
+		return 0
+	}
+	return binSigBits / dim
+}
+
+// makeBinSig quantizes a wavelet signature into its binary summary.
+// Coefficient i, clamped to [0,1], sets the first floor(v*L) bits of its
+// L-bit block (thermometer code), so the Hamming distance between two
+// summaries is the sum of per-coefficient level differences. Clamping is
+// 1-Lipschitz, so the distance bounds below survive out-of-range values.
+func makeBinSig(sig []float64) binSig {
+	var bs binSig
+	levels := binLevels(len(sig))
+	for i, v := range sig {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		t := int(v * float64(levels))
+		if t > levels {
+			t = levels
+		}
+		base := i * levels
+		for b := base; b < base+t; b++ {
+			bs.Bits[b>>6] |= 1 << (uint(b) & 63)
+		}
+	}
+	bs.Sigma = wbiis.Stddev(sig)
+	return bs
+}
+
+// hamming is the bit-level distance between two binary signatures: eight
+// XOR+popcount word operations, the entire per-hit cost of the coarse
+// tier's first test.
+func (a *binSig) hamming(b *binSig) int {
+	h := 0
+	for i := range a.Bits {
+		h += bits.OnesCount64(a.Bits[i] ^ b.Bits[i])
+	}
+	return h
+}
+
+// hammingBound is the largest Hamming distance two binary signatures can
+// reach while the underlying signatures stay within eps in euclidean
+// distance: per-coefficient thermometer levels differ by at most
+// L·|Δi|+1, and ‖Δ‖₂ ≤ eps implies ‖Δ‖₁ ≤ eps·√dim, so
+// H ≤ L·eps·√dim + dim. A hit above the bound is provably outside the
+// epsilon envelope and safe to drop before the exact check.
+func hammingBound(dim int, eps float64) int {
+	levels := binLevels(dim)
+	return int(float64(levels)*eps*math.Sqrt(float64(dim))) + dim
+}
+
+// sigmaBound is the largest |σ(a)−σ(b)| compatible with ‖a−b‖₂ ≤ eps:
+// the standard deviation is 1/√dim times the norm of the mean-removed
+// signature, a 1-Lipschitz projection, so a σ difference beyond
+// eps/√dim proves the pair is outside the envelope. The prefilter
+// accepts a hit whenever the WBIIS β-test passes OR the difference is
+// under this bound, so the variance tier never drops a true match.
+func sigmaBound(dim int, eps float64) float64 {
+	if dim <= 0 {
+		return 0
+	}
+	return eps / math.Sqrt(float64(dim))
+}

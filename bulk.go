@@ -41,6 +41,7 @@ func BuildFrom(opts Options, items []BatchItem, workers int) (*DB, error) {
 		for local, r := range extracted[i] {
 			payloads = append(payloads, int64(len(db.refs)))
 			db.refs = append(db.refs, regionRef{Image: imgIdx, Local: local})
+			db.bsigs = append(db.bsigs, makeBinSig(r.Signature))
 			rects = append(rects, signatureRect(opts.UseBBox, r))
 		}
 	}
@@ -106,6 +107,7 @@ func CreateFrom(dir string, opts Options, items []BatchItem, workers int) (*DB, 
 			}
 			payloads = append(payloads, int64(len(db.refs)))
 			db.refs = append(db.refs, regionRef{Image: imgIdx, Local: local, RID: rid.Pack()})
+			db.bsigs = append(db.bsigs, makeBinSig(r.Signature))
 			rects = append(rects, signatureRect(opts.UseBBox, r))
 		}
 	}

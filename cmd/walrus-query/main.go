@@ -42,6 +42,9 @@ func main() {
 		sceneXY = flag.String("scene", "", "query with a sub-rectangle only: x,y,w,h (user-specified scene)")
 		durable = flag.String("durability", "", "override the index's WAL durability policy: always, group or none")
 		explain = flag.Bool("explain", false, "print the stage-by-stage candidate funnel after the results")
+		prefilt = flag.Bool("prefilter", false, "enable the binary-signature prefilter tier between probe and scoring")
+		cacheSz = flag.Int("cache-size", 0, "version-keyed result cache capacity in queries (0 disables)")
+		repeat  = flag.Int("repeat", 1, "run the query N times (with -cache-size, later runs hit the cache)")
 	)
 	obsFlags := obscli.Register()
 	logFlags := obscli.RegisterLog()
@@ -76,10 +79,15 @@ func main() {
 		db.SetDurability(pol)
 	}
 
+	if *cacheSz > 0 {
+		db.SetCacheSize(*cacheSz)
+	}
+
 	params := walrus.DefaultQueryParams()
 	params.Epsilon = *eps
 	params.Tau = *tau
 	params.Limit = *k
+	params.Prefilter = *prefilt
 	switch *matcher {
 	case "quick":
 		params.Matcher = match.Quick
@@ -98,19 +106,30 @@ func main() {
 	if *explain || logFlags.SlowQueryMS > 0 {
 		ctx, qt = walrus.WithQueryTrace(ctx)
 	}
-	var matches []walrus.Match
-	var stats walrus.QueryStats
+	var x, y, w, h int
 	if *sceneXY != "" {
-		var x, y, w, h int
 		if _, err := fmt.Sscanf(*sceneXY, "%d,%d,%d,%d", &x, &y, &w, &h); err != nil {
 			log.Fatalf("bad -scene %q: %v", *sceneXY, err)
 		}
-		matches, stats, err = db.QuerySceneContext(ctx, im, x, y, w, h, params)
-	} else {
-		matches, stats, err = db.QueryContext(ctx, im, params)
 	}
-	if err != nil {
-		log.Fatal(err)
+	var matches []walrus.Match
+	var stats walrus.QueryStats
+	for run := 0; run < *repeat; run++ {
+		if *sceneXY != "" {
+			matches, stats, err = db.QuerySceneContext(ctx, im, x, y, w, h, params)
+		} else {
+			matches, stats, err = db.QueryContext(ctx, im, params)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *repeat > 1 {
+			outcome := stats.Cache
+			if outcome == "" {
+				outcome = "uncached"
+			}
+			fmt.Printf("run %d: %s, %s\n", run+1, outcome, stats.Elapsed)
+		}
 	}
 	fmt.Printf("query: %d regions, %d matching regions over %d candidate images, %s\n",
 		stats.QueryRegions, stats.RegionsRetrieved, stats.CandidateImages, stats.Elapsed)
@@ -169,6 +188,7 @@ type queryDB interface {
 	QuerySceneContext(ctx context.Context, im *imgio.Image, x, y, w, h int, p walrus.QueryParams) ([]walrus.Match, walrus.QueryStats, error)
 	SetMetrics(reg *obs.Registry)
 	SetDurability(p walrus.DurabilityPolicy)
+	SetCacheSize(n int)
 	Close() error
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"walrus"
 	"walrus/internal/obs"
 )
 
@@ -48,21 +49,30 @@ func explainSchema(v any) []string {
 // meant to change.
 func TestExplainSchemaGolden(t *testing.T) {
 	reg := obs.NewRegistry()
-	s := newTestServer(t, Config{Metrics: reg})
+	db, err := walrus.New(testOptions())
+	if err != nil {
+		t.Fatalf("creating db: %v", err)
+	}
+	db.SetCacheSize(4)
+	s := newTestServer(t, Config{Metrics: reg, Backend: db})
 	for i := 0; i < 3; i++ {
 		w := do(s, "POST", fmt.Sprintf("/v1/images?id=img-%d", i), "image/x-portable-pixmap", testPPM(t, i))
 		if w.Code != http.StatusCreated {
 			t.Fatalf("ingest img-%d: got %d: %s", i, w.Code, w.Body.String())
 		}
 	}
-	// refine=1 forces the refine stage so the golden covers every stage
-	// an unsharded query can emit.
-	w := do(s, "POST", "/v1/search?explain=1&refine=1&k=5", "image/x-portable-pixmap", testPPM(t, 0))
+	// refine=1 and prefilter=1 force the optional stages, and the cached
+	// backend adds the cache row, so the golden covers every stage an
+	// unsharded query can emit.
+	w := do(s, "POST", "/v1/search?explain=1&refine=1&prefilter=1&k=5", "image/x-portable-pixmap", testPPM(t, 0))
 	if w.Code != http.StatusOK {
 		t.Fatalf("search: got %d: %s", w.Code, w.Body.String())
 	}
 	if got := w.Header().Get("X-Walrus-Trace"); got == "" {
 		t.Fatal("explained search response missing X-Walrus-Trace header")
+	}
+	if got := w.Header().Get("X-Walrus-Cache"); got != "miss" {
+		t.Fatalf("first search X-Walrus-Cache = %q, want \"miss\"", got)
 	}
 	var resp map[string]any
 	decodeBody(t, w, &resp)
@@ -116,5 +126,18 @@ func TestExplainSchemaGolden(t *testing.T) {
 	decodeBody(t, tw, &trace)
 	if len(trace.Spans) == 0 {
 		t.Fatal("trace endpoint returned no spans for the explained query")
+	}
+
+	// The identical query repeats against an unchanged database: served
+	// from the result cache, reported in the response header.
+	w2 := do(s, "POST", "/v1/search?explain=1&refine=1&prefilter=1&k=5", "image/x-portable-pixmap", testPPM(t, 0))
+	if w2.Code != http.StatusOK {
+		t.Fatalf("repeat search: got %d: %s", w2.Code, w2.Body.String())
+	}
+	if got := w2.Header().Get("X-Walrus-Cache"); got != "hit" {
+		t.Fatalf("repeat search X-Walrus-Cache = %q, want \"hit\"", got)
+	}
+	if w.Body.String() == "" || w2.Body.String() == "" {
+		t.Fatal("empty search response body")
 	}
 }

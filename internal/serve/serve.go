@@ -483,6 +483,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			p.Refine = b
 		}
 	}
+	if v := q.Get("prefilter"); v != "" && parseErr == nil {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			parseErr = fmt.Errorf("bad prefilter=%q", v)
+		} else {
+			p.Prefilter = b
+		}
+	}
+	if v := q.Get("nocache"); v != "" && parseErr == nil {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			parseErr = fmt.Errorf("bad nocache=%q", v)
+		} else {
+			p.NoCache = b
+		}
+	}
 	explain := false
 	if v := q.Get("explain"); v != "" && parseErr == nil {
 		b, err := strconv.ParseBool(v)
@@ -544,6 +560,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, err)
 		return
+	}
+	// A backend with a result cache reports each query's cache outcome;
+	// surface it so clients and tests can tell a hit from a recompute.
+	if stats.Cache != "" {
+		w.Header().Set("X-Walrus-Cache", stats.Cache)
 	}
 	if qt != nil && s.cfg.SlowQueryThreshold > 0 && stats.Elapsed >= s.cfg.SlowQueryThreshold {
 		s.m.slowQueries.Inc()

@@ -37,6 +37,8 @@ type dbMetrics struct {
 	snapshotsTotal  *obs.Counter
 	publishes       *obs.Counter
 	publishSeconds  *obs.Histogram
+
+	cache cacheMetrics
 }
 
 // SetMetrics attaches an observability registry to the database and every
@@ -116,6 +118,7 @@ func newDBMetrics(reg *obs.Registry, scope string) *dbMetrics {
 		snapshotsTotal:   reg.Counter(n("snapshots_total"), "Snapshots acquired."),
 		publishes:        reg.Counter(n("publishes_total"), "Catalog versions published by writers."),
 		publishSeconds:   reg.Histogram(n("publish_seconds"), "Latency of building and publishing one catalog version.", nil),
+		cache:            newCacheMetrics(reg, n),
 	}
 }
 

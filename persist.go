@@ -328,6 +328,18 @@ func OpenFS(dir string, fs FileOpener) (*DB, error) {
 		db.images[ref.Image].Regions[ref.Local] = r
 	}
 
+	// Binary prefilter signatures are derived state, rebuilt from the
+	// regions just attached (catalog refs and WAL-replayed refs alike)
+	// rather than persisted; tombstoned slots stay zero and are never
+	// probed.
+	db.bsigs = make([]binSig, len(db.refs))
+	for i, ref := range db.refs {
+		if ref.Local < 0 {
+			continue
+		}
+		db.bsigs[i] = makeBinSig(db.images[ref.Image].Regions[ref.Local].Signature)
+	}
+
 	db.liveRegions = countLiveRefs(db.refs)
 	db.tree = tree
 	db.persist = p

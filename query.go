@@ -14,15 +14,17 @@ import (
 	"walrus/internal/parallel"
 	"walrus/internal/region"
 	"walrus/internal/rstar"
+	"walrus/internal/wbiis"
 )
 
-// The query pipeline. A query runs as five stages over one immutable
-// Snapshot — extract, probe, refine, aggregate, score — composed by
-// Snapshot.Query. Each stage takes only the snapshot and the previous
-// stage's output, so the whole pipeline is lock-free: the catalog slices
-// and the pinned index view cannot change underneath it, and the
-// per-stage fan-out over the worker pool needs no synchronization beyond
-// slot-indexed writes.
+// The query pipeline stages. A query runs as a stage plan over one
+// immutable Snapshot — extract, probe, the optional prefilter and refine
+// tiers, aggregate, score — assembled by planPhaseA/planScore and driven
+// by runStages (plan.go). Each stage takes only the snapshot and the
+// previous stage's output, so the whole pipeline is lock-free: the
+// catalog slices and the pinned index view cannot change underneath it,
+// and the per-stage fan-out over the worker pool needs no
+// synchronization beyond slot-indexed writes.
 
 // signatureRect builds the index key for a region: its centroid point,
 // or its signature bounding box when useBBox is set.
@@ -37,10 +39,12 @@ func signatureRect(useBBox bool, r region.Region) rstar.Rect {
 }
 
 // probeHit is one index hit: a matching (query region, target region)
-// pair and the image the target region belongs to.
+// pair, the image the target region belongs to, and the index payload
+// locating the region's binary signature in the snapshot's bsigs slice.
 type probeHit struct {
-	image int
-	pair  match.Pair
+	image   int
+	payload int64
+	pair    match.Pair
 }
 
 // extractStage decomposes the query image into regions using the
@@ -85,7 +89,12 @@ func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p Q
 		if err != nil {
 			return err
 		}
-		hits := make([]probeHit, 0, len(entries))
+		// When the prefilter tier is planned, the exact distance check is
+		// deferred to it: the coarse Hamming/variance tests run first and
+		// the euclidean distance is computed only for survivors.
+		exact := !prefilterEnabled(p, s.core.opts)
+		hits := make([]probeHit, len(entries))
+		n := 0
 		for _, e := range entries {
 			// Validate the hit against the snapshot catalog. The pinned
 			// R*-tree view never yields out-of-version entries, but the
@@ -103,18 +112,76 @@ func (s *Snapshot) probeStage(ctx context.Context, qRegions []region.Region, p Q
 			// metric); the box probe over-approximates the euclidean ball,
 			// so filter. Bounding-box signatures match by box overlap,
 			// which the probe tests exactly.
-			if !s.core.opts.UseBBox && euclid(qr.Signature, target.Signature) > p.Epsilon {
+			if exact && !s.core.opts.UseBBox && euclid(qr.Signature, target.Signature) > p.Epsilon {
 				continue
 			}
-			hits = append(hits, probeHit{image: ref.Image, pair: match.Pair{Q: qi, T: ref.Local}})
+			hits[n] = probeHit{image: ref.Image, payload: e.Data, pair: match.Pair{Q: qi, T: ref.Local}}
+			n++
 		}
-		perRegion[qi] = hits
+		perRegion[qi] = hits[:n]
 		if tc != nil {
-			tc.probeOut[qi] = len(hits)
+			tc.probeOut[qi] = n
 		}
 		return nil
 	})
 	return perRegion, err
+}
+
+// prefilterStage is the coarse-to-fine rejection tier between probe and
+// refine: each hit is screened by a popcount Hamming test over the
+// precomputed binary signatures (with a bound no true epsilon-match can
+// exceed — see hammingBound), then by the WBIIS variance acceptance test
+// paired with the conservative σ guard (sigmaBound), and only survivors
+// pay the exact euclidean check the probe stage deferred. Both coarse
+// tests are conservative at their default settings, so results match the
+// unfiltered pipeline exactly; PrefilterHamming can trade that guarantee
+// for a harsher cut. Hit lists are filtered in place, fanned and
+// slot-indexed like every other stage.
+func (s *Snapshot) prefilterStage(ctx context.Context, qRegions []region.Region, perRegion [][]probeHit, p QueryParams, workers int, tc *traceCollector) error {
+	dim := s.core.opts.Region.Dim()
+	hBound := p.PrefilterHamming
+	if hBound <= 0 {
+		hBound = hammingBound(dim, p.Epsilon)
+	}
+	beta := p.PrefilterBeta
+	if beta <= 0 {
+		beta = wbiis.DefaultOptions().Beta
+	}
+	sBound := sigmaBound(dim, p.Epsilon)
+	qsigs := make([]binSig, len(qRegions))
+	if tc != nil {
+		tc.prefiltered = true
+	}
+	return parallel.ForErr(len(perRegion), workers, func(qi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		qr := qRegions[qi]
+		qsigs[qi] = makeBinSig(qr.Signature)
+		qb := &qsigs[qi]
+		hits := perRegion[qi]
+		n := 0
+		for _, h := range hits {
+			tb := &s.core.bsigs[h.payload]
+			if qb.hamming(tb) > hBound {
+				continue
+			}
+			if !wbiis.Acceptance(qb.Sigma, tb.Sigma, beta) && math.Abs(qb.Sigma-tb.Sigma) > sBound {
+				continue
+			}
+			target := s.core.images[h.image].Regions[h.pair.T]
+			if euclid(qr.Signature, target.Signature) > p.Epsilon {
+				continue
+			}
+			hits[n] = h
+			n++
+		}
+		perRegion[qi] = hits[:n]
+		if tc != nil {
+			tc.prefilterOut[qi] = n
+		}
+		return nil
+	})
 }
 
 // refineStage is the refined matching phase of Section 5.5: candidate
@@ -145,17 +212,19 @@ func (s *Snapshot) refineStage(ctx context.Context, qRegions []region.Region, pe
 			// per-dimension tolerance of the coarse check.
 			bound = p.Epsilon * math.Sqrt(float64(len(qr.Fine))/float64(len(qr.Signature)))
 		}
-		kept := perRegion[qi][:0]
-		for _, h := range perRegion[qi] {
+		hits := perRegion[qi]
+		n := 0
+		for _, h := range hits {
 			target := s.core.images[h.image].Regions[h.pair.T]
 			if target.Fine != nil && euclid(qr.Fine, target.Fine) > bound {
 				continue
 			}
-			kept = append(kept, h)
+			hits[n] = h
+			n++
 		}
-		perRegion[qi] = kept
+		perRegion[qi] = hits[:n]
 		if tc != nil {
-			tc.refineOut[qi] = len(kept)
+			tc.refineOut[qi] = n
 		}
 		return nil
 	})
@@ -163,15 +232,34 @@ func (s *Snapshot) refineStage(ctx context.Context, qRegions []region.Region, pe
 
 // aggregateStage merges the per-region hit lists in query-region order
 // into the per-image pair sets the scorer consumes, counting the total
-// regions retrieved.
+// regions retrieved. The pair sets are carved out of one flat buffer
+// sized by a counting pass — a single allocation however many candidate
+// images the probes surfaced.
 func aggregateStage(perRegion [][]probeHit) (map[int][]match.Pair, int) {
-	pairsByImage := make(map[int][]match.Pair)
+	counts := make(map[int]int)
 	retrieved := 0
 	for _, hits := range perRegion {
 		for _, h := range hits {
-			pairsByImage[h.image] = append(pairsByImage[h.image], h.pair)
+			counts[h.image]++
 		}
 		retrieved += len(hits)
+	}
+	buf := make([]match.Pair, retrieved)
+	next := 0
+	pairsByImage := make(map[int][]match.Pair, len(counts))
+	fill := make(map[int]int, len(counts))
+	for _, hits := range perRegion {
+		for _, h := range hits {
+			s, ok := pairsByImage[h.image]
+			if !ok {
+				c := counts[h.image]
+				s = buf[next : next+c]
+				next += c
+				pairsByImage[h.image] = s
+			}
+			s[fill[h.image]] = h.pair
+			fill[h.image]++
+		}
 	}
 	return pairsByImage, retrieved
 }
@@ -182,9 +270,11 @@ func aggregateStage(perRegion [][]probeHit) (map[int][]match.Pair, int) {
 // schedule-independent. It returns matches with similarity >= p.Tau
 // sorted by decreasing similarity, capped at p.Limit.
 func (s *Snapshot) scoreStage(ctx context.Context, qRegions []region.Region, qArea int, pairsByImage map[int][]match.Pair, p QueryParams, workers int) ([]Match, error) {
-	candidates := make([]int, 0, len(pairsByImage))
+	candidates := make([]int, len(pairsByImage))
+	n := 0
 	for imgIdx := range pairsByImage {
-		candidates = append(candidates, imgIdx)
+		candidates[n] = imgIdx
+		n++
 	}
 	sort.Ints(candidates)
 	scoreOpts := match.Options{Algorithm: p.Matcher, Denominator: p.Denominator}
@@ -205,19 +295,22 @@ func (s *Snapshot) scoreStage(ctx context.Context, qRegions []region.Region, qAr
 	if err != nil {
 		return nil, err
 	}
-	matches := make([]Match, 0, len(candidates))
+	matches := make([]Match, len(candidates))
+	kept := 0
 	for i, imgIdx := range candidates {
 		if scored[i].Similarity < p.Tau {
 			continue
 		}
 		rec := s.core.images[imgIdx]
-		matches = append(matches, Match{
+		matches[kept] = Match{
 			ID:              rec.ID,
 			Similarity:      scored[i].Similarity,
 			Pairs:           scored[i].Pairs,
 			MatchingRegions: len(pairsByImage[imgIdx]),
-		})
+		}
+		kept++
 	}
+	matches = matches[:kept]
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].Similarity != matches[j].Similarity {
 			return matches[i].Similarity > matches[j].Similarity
@@ -312,66 +405,42 @@ func (s *Snapshot) QueryByID(ctx context.Context, id string, p QueryParams) ([]M
 	return s.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats, qspan)
 }
 
-// finishQuery is the shared probe→refine→aggregate→score tail of the
-// pipeline, entered with the query regions already in hand (extracted
-// from an image, or read back from the catalog for QueryByID). The live
-// "query" span qspan (nil when tracing is off) gains probe and score
-// children; an EXPLAIN context additionally routes every stage's counts
-// through a traceCollector into the context's QueryTrace.
+// finishQuery is the shared tail of the pipeline, entered with the query
+// regions already in hand (extracted from an image, or read back from
+// the catalog for QueryByID). It assembles the stage plan from the
+// parameters and the snapshot's configuration and executes it through
+// the shared runner, which hangs one child span per stage off the live
+// "query" span qspan (nil when tracing is off); an EXPLAIN context
+// additionally routes every stage's counts through a traceCollector into
+// the context's QueryTrace.
 func (s *Snapshot) finishQuery(ctx context.Context, qRegions []region.Region, qArea int, p QueryParams, start time.Time, stats QueryStats, qspan *obs.Span) ([]Match, QueryStats, error) {
 	probeStart := statsClock()
-	workers := parallel.Workers(p.Parallelism)
 	qt := queryTraceFrom(ctx)
-	var tc *traceCollector
+	ex := &stageExec{snap: s, qRegions: qRegions, qArea: qArea, p: p, workers: parallel.Workers(p.Parallelism)}
 	if qt != nil {
-		tc = newTraceCollector(len(qRegions), s.core.version)
+		ex.tc = newTraceCollector(len(qRegions), s.core.version)
 	}
 
-	ps := qspan.Child("query.probe")
-	perRegion, err := s.probeStage(ctx, qRegions, p, workers, tc)
-	if err != nil {
-		failSpans(ps, qspan)
+	if err := runStages(ctx, planPhaseA(p, s.core.opts), ex, qspan, "query.", -1); err != nil {
+		failSpans(qspan)
 		return nil, stats, err
 	}
-	if tc != nil {
-		tc.probeNS = statsSince(probeStart).Nanoseconds()
-	}
-	if err := s.refineStage(ctx, qRegions, perRegion, p, workers, tc); err != nil {
-		failSpans(ps, qspan)
-		return nil, stats, err
-	}
-	if tc != nil {
-		tc.refineNS = statsSince(probeStart).Nanoseconds() - tc.probeNS
-	}
-	pairsByImage, retrieved := aggregateStage(perRegion)
-	if tc != nil {
-		tc.aggregateNS = statsSince(probeStart).Nanoseconds() - tc.probeNS - tc.refineNS
-		tc.candidates = len(pairsByImage)
-	}
-	stats.RegionsRetrieved = retrieved
-	stats.CandidateImages = len(pairsByImage)
+	stats.RegionsRetrieved = ex.retrieved
+	stats.CandidateImages = len(ex.pairsByImage)
 	stats.ProbeTime = statsSince(probeStart)
-	ps.End()
 	scoreStart := statsClock()
 
-	sspan := qspan.Child("query.score")
-	matches, err := s.scoreStage(ctx, qRegions, qArea, pairsByImage, p, workers)
-	if err != nil {
-		failSpans(sspan, qspan)
+	if err := runStages(ctx, planScore(), ex, qspan, "query.", -1); err != nil {
+		failSpans(qspan)
 		return nil, stats, err
 	}
-	sspan.End()
 	stats.ScoreTime = statsSince(scoreStart)
 	stats.Elapsed = statsSince(start)
-	if tc != nil {
-		tc.scoreNS = stats.ScoreTime.Nanoseconds()
-		tc.matches = len(matches)
-	}
 	if qt != nil {
-		qt.fill(qspan, false, p, len(qRegions), []*traceCollector{tc}, stats, len(matches), len(matches), 0)
+		qt.fill(qspan, false, p, len(qRegions), []*traceCollector{ex.tc}, stats, len(ex.matches), len(ex.matches), 0)
 	}
 	s.observeQuery(qspan, stats)
-	return matches, stats, nil
+	return ex.matches, stats, nil
 }
 
 // QueryScene is DB.QueryScene over this snapshot.

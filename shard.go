@@ -83,9 +83,25 @@ type Sharded struct {
 	// elements.
 	shards []*DB
 
+	// cache is the fleet-level result cache, keyed on the pinned version
+	// vector; nil means caching is off. Cross-shard queries bypass the
+	// shards' own query paths, so the per-shard caches stay unused and
+	// this is the only cache a sharded database consults.
+	cache atomic.Pointer[queryCache]
+
 	// om points at the fleet-level observability handles installed by
 	// SetMetrics; nil (the default) means observability is off.
 	om atomic.Pointer[shardedMetrics]
+}
+
+// newShardedFrom wraps constructed shards in a Sharded, installing the
+// fleet-level result cache when Options.CacheSize asks for one.
+func newShardedFrom(opts Options, shards []*DB) *Sharded {
+	s := &Sharded{opts: opts, shards: shards}
+	if opts.CacheSize > 0 {
+		s.cache.Store(newQueryCache(opts.CacheSize))
+	}
+	return s
 }
 
 // NewSharded creates an in-memory sharded database with opts.Shards
@@ -104,7 +120,7 @@ func NewSharded(opts Options) (*Sharded, error) {
 		}
 		shards[i] = db
 	}
-	return &Sharded{opts: opts, shards: shards}, nil
+	return newShardedFrom(opts, shards), nil
 }
 
 // CreateSharded creates a disk-backed sharded database: dir gains a
@@ -131,7 +147,7 @@ func CreateSharded(dir string, opts Options) (*Sharded, error) {
 		}
 		shards[i] = db
 	}
-	return &Sharded{opts: opts, shards: shards}, nil
+	return newShardedFrom(opts, shards), nil
 }
 
 // OpenSharded reopens a sharded database created by CreateSharded. The
@@ -163,7 +179,7 @@ func OpenShardedFS(dir string, fs FileOpener) (*Sharded, error) {
 	opts := shards[0].Options()
 	opts.Shards = n
 	opts.FS = fs
-	return &Sharded{opts: opts, shards: shards}, nil
+	return newShardedFrom(opts, shards), nil
 }
 
 // BuildFromSharded is BuildFrom for a sharded database: the collection
@@ -185,7 +201,7 @@ func BuildFromSharded(opts Options, items []BatchItem, workers int) (*Sharded, e
 		}
 		shards[i] = db
 	}
-	return &Sharded{opts: opts, shards: shards}, nil
+	return newShardedFrom(opts, shards), nil
 }
 
 // CreateFromSharded is CreateFrom for a sharded database: one unlogged
@@ -211,7 +227,7 @@ func CreateFromSharded(dir string, opts Options, items []BatchItem, workers int)
 		}
 		shards[i] = db
 	}
-	return &Sharded{opts: opts, shards: shards}, nil
+	return newShardedFrom(opts, shards), nil
 }
 
 // closeShards closes every already-constructed shard of a failed
@@ -529,9 +545,11 @@ func (ss *ShardedSnapshot) QueryByID(ctx context.Context, id string, p QueryPara
 	return ss.finishQuery(ctx, rec.Regions, rec.W*rec.H, p, start, stats, qspan)
 }
 
-// finishQuery fans the probe→refine→aggregate→score tail across every
-// pinned shard and merges the per-shard rankings. Each shard's fan-out
-// task hangs its own child spans off the live query span — the shard is
+// finishQuery fans the stage plan across every pinned shard and merges
+// the per-shard rankings: every shard executes the same planPhaseA /
+// planScore lists a single-store query runs, through the same runner,
+// with its own stageExec. The runner hangs one "query.shard.<stage>"
+// span per shard stage off the two phase umbrellas — the shard is
 // visible in the trace tree, not reconstructed after the fact — and an
 // EXPLAIN context gets one traceCollector per shard, merged into the
 // fleet funnel after the merge.
@@ -539,92 +557,49 @@ func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Re
 	probeStart := statsClock()
 	workers := parallel.Workers(p.Parallelism)
 	qt := queryTraceFrom(ctx)
-	var tcs []*traceCollector
-	if qt != nil {
-		tcs = make([]*traceCollector, len(ss.snaps))
-		for i, sn := range ss.snaps {
-			tcs[i] = newTraceCollector(len(qRegions), sn.core.version)
+	execs := make([]*stageExec, len(ss.snaps))
+	for i, sn := range ss.snaps {
+		execs[i] = &stageExec{snap: sn, qRegions: qRegions, qArea: qArea, p: p, workers: workers}
+		if qt != nil {
+			execs[i].tc = newTraceCollector(len(qRegions), sn.core.version)
 		}
 	}
 
+	// Every shard shares one configuration, so shard 0's options assemble
+	// the plan for all of them.
+	phaseA := planPhaseA(p, ss.snaps[0].core.opts)
 	ps := qspan.Child("query.probe")
-	perShard := make([]map[int][]match.Pair, len(ss.snaps))
-	retrieved := make([]int, len(ss.snaps))
 	err := parallel.ForErr(len(ss.snaps), workers, func(i int) error {
-		shspan := ps.Child("query.shard.probe")
-		shspan.SetAttr("shard", int64(i))
-		var tc *traceCollector
-		var shardStart time.Time
-		if tcs != nil {
-			tc = tcs[i]
-			shardStart = statsClock()
-		}
-		perRegion, err := ss.snaps[i].probeStage(ctx, qRegions, p, workers, tc)
-		if err != nil {
-			failSpans(shspan)
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if tc != nil {
-			tc.probeNS = statsSince(shardStart).Nanoseconds()
-		}
-		if err := ss.snaps[i].refineStage(ctx, qRegions, perRegion, p, workers, tc); err != nil {
-			failSpans(shspan)
-			return err
-		}
-		if tc != nil {
-			tc.refineNS = statsSince(shardStart).Nanoseconds() - tc.probeNS
-		}
-		perShard[i], retrieved[i] = aggregateStage(perRegion)
-		if tc != nil {
-			tc.aggregateNS = statsSince(shardStart).Nanoseconds() - tc.probeNS - tc.refineNS
-			tc.candidates = len(perShard[i])
-		}
-		shspan.SetAttr("regions_retrieved", int64(retrieved[i]))
-		shspan.SetAttr("candidates", int64(len(perShard[i])))
-		shspan.End()
-		return nil
+		return runStages(ctx, phaseA, execs[i], ps, "query.shard.", i)
 	})
 	if err != nil {
 		failSpans(ps, qspan)
 		return nil, stats, err
 	}
-	for i := range ss.snaps {
-		stats.RegionsRetrieved += retrieved[i]
-		stats.CandidateImages += len(perShard[i])
+	for _, ex := range execs {
+		stats.RegionsRetrieved += ex.retrieved
+		stats.CandidateImages += len(ex.pairsByImage)
 	}
 	stats.ProbeTime = statsSince(probeStart)
 	ps.End()
 	scoreStart := statsClock()
 
+	scorePlan := planScore()
 	// Per-shard scoring runs unlimited; the fleet Limit cuts only the
 	// merged ranking, so a low Limit cannot drop a high-similarity match
 	// that happens to live on a crowded shard.
-	sub := p
-	sub.Limit = 0
+	for _, ex := range execs {
+		ex.p.Limit = 0
+	}
 	sspan := qspan.Child("query.score")
-	perShardMatches := make([][]Match, len(ss.snaps))
 	err = parallel.ForErr(len(ss.snaps), workers, func(i int) error {
-		shspan := sspan.Child("query.shard.score")
-		shspan.SetAttr("shard", int64(i))
-		var tc *traceCollector
-		var shardStart time.Time
-		if tcs != nil {
-			tc = tcs[i]
-			shardStart = statsClock()
-		}
-		m, err := ss.snaps[i].scoreStage(ctx, qRegions, qArea, perShard[i], sub, workers)
-		if err != nil {
-			failSpans(shspan)
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		perShardMatches[i] = m
-		if tc != nil {
-			tc.scoreNS = statsSince(shardStart).Nanoseconds()
-			tc.matches = len(m)
-		}
-		shspan.SetAttr("matches", int64(len(m)))
-		shspan.End()
-		return nil
+		return runStages(ctx, scorePlan, execs[i], sspan, "query.shard.", i)
 	})
 	if err != nil {
 		failSpans(sspan, qspan)
@@ -634,14 +609,20 @@ func (ss *ShardedSnapshot) finishQuery(ctx context.Context, qRegions []region.Re
 	if qt != nil {
 		mergeStart = statsClock()
 	}
+	perShardMatches := make([][]Match, len(ss.snaps))
+	for i, ex := range execs {
+		perShardMatches[i] = ex.matches
+	}
 	matches := mergeMatches(perShardMatches, p.Limit)
 	sspan.End()
 	stats.ScoreTime = statsSince(scoreStart)
 	stats.Elapsed = statsSince(start)
 	if qt != nil {
+		tcs := make([]*traceCollector, len(execs))
 		mergedIn := 0
-		for _, m := range perShardMatches {
-			mergedIn += len(m)
+		for i, ex := range execs {
+			tcs[i] = ex.tc
+			mergedIn += len(ex.matches)
 		}
 		qt.fill(qspan, true, p, len(qRegions), tcs, stats, mergedIn, len(matches), statsSince(mergeStart).Nanoseconds())
 	}
@@ -728,24 +709,57 @@ func (s *Sharded) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, er
 }
 
 // QueryContext is Query with a deadline; see ShardedSnapshot.QueryContext.
+// With a result cache configured, the lookup keys on the pinned version
+// vector and a fingerprint of the query pixels — see Options.CacheSize.
 func (s *Sharded) QueryContext(ctx context.Context, im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
 	ss, err := s.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer ss.Release()
-	return ss.QueryContext(ctx, im, p)
+	c := s.cache.Load()
+	if c == nil {
+		return ss.QueryContext(ctx, im, p)
+	}
+	return cachedQuery(ctx, c, s.cacheMetrics(), versionKey(ss.VersionVector()), true, hashQueryImage(im), p,
+		func() ([]Match, QueryStats, error) { return ss.QueryContext(ctx, im, p) })
 }
 
 // QueryByID queries by the stored regions of an indexed image; see
-// ShardedSnapshot.QueryByID.
+// ShardedSnapshot.QueryByID. Cacheable like QueryContext, keyed on the
+// id instead of pixels.
 func (s *Sharded) QueryByID(ctx context.Context, id string, p QueryParams) ([]Match, QueryStats, error) {
 	ss, err := s.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer ss.Release()
-	return ss.QueryByID(ctx, id, p)
+	c := s.cache.Load()
+	if c == nil {
+		return ss.QueryByID(ctx, id, p)
+	}
+	return cachedQuery(ctx, c, s.cacheMetrics(), versionKey(ss.VersionVector()), true, hashQueryID(id), p,
+		func() ([]Match, QueryStats, error) { return ss.QueryByID(ctx, id, p) })
+}
+
+// SetCacheSize resizes the fleet-level query result cache at runtime:
+// n > 0 installs a fresh, empty cache with that capacity; n <= 0
+// disables caching. See DB.SetCacheSize.
+func (s *Sharded) SetCacheSize(n int) {
+	if n <= 0 {
+		s.cache.Store(nil)
+		return
+	}
+	s.cache.Store(newQueryCache(n))
+}
+
+// cacheMetrics returns the fleet cache instrument set, nil when metrics
+// are detached.
+func (s *Sharded) cacheMetrics() *cacheMetrics {
+	if m := s.om.Load(); m != nil {
+		return &m.cache
+	}
+	return nil
 }
 
 // QueryScene is DB.QueryScene for a sharded database.
@@ -884,6 +898,8 @@ type shardedMetrics struct {
 
 	activeSnapshots *obs.Gauge
 	snapshotsTotal  *obs.Counter
+
+	cache cacheMetrics
 }
 
 // SetMetrics attaches an observability registry to the fleet and every
@@ -903,18 +919,20 @@ func (s *Sharded) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	reg.Gauge("walrus_shards", "Shard count of the sharded database.").Set(int64(len(s.shards)))
+	n := func(base string) string { return "walrus_" + base }
 	m := &shardedMetrics{
 		reg:              reg,
-		queries:          reg.Counter("walrus_query_total", "Queries served."),
-		queryRegions:     reg.Counter("walrus_query_regions_total", "Regions extracted from query images."),
-		regionsRetrieved: reg.Counter("walrus_query_regions_retrieved_total", "Matching database regions retrieved by index probes."),
-		candidates:       reg.Counter("walrus_query_candidates_total", "Candidate images scored by queries."),
-		querySeconds:     reg.Histogram("walrus_query_seconds", "End-to-end query latency.", nil),
-		extractSeconds:   reg.Histogram("walrus_query_extract_seconds", "Query region-extraction phase latency.", nil),
-		probeSeconds:     reg.Histogram("walrus_query_probe_seconds", "Query index-probe phase latency.", nil),
-		scoreSeconds:     reg.Histogram("walrus_query_score_seconds", "Query candidate-scoring phase latency.", nil),
-		activeSnapshots:  reg.Gauge("walrus_snapshots_active", "Cross-shard snapshots acquired and not yet released."),
-		snapshotsTotal:   reg.Counter("walrus_snapshots_total", "Cross-shard snapshots acquired."),
+		queries:          reg.Counter(n("query_total"), "Queries served."),
+		queryRegions:     reg.Counter(n("query_regions_total"), "Regions extracted from query images."),
+		regionsRetrieved: reg.Counter(n("query_regions_retrieved_total"), "Matching database regions retrieved by index probes."),
+		candidates:       reg.Counter(n("query_candidates_total"), "Candidate images scored by queries."),
+		querySeconds:     reg.Histogram(n("query_seconds"), "End-to-end query latency.", nil),
+		extractSeconds:   reg.Histogram(n("query_extract_seconds"), "Query region-extraction phase latency.", nil),
+		probeSeconds:     reg.Histogram(n("query_probe_seconds"), "Query index-probe phase latency.", nil),
+		scoreSeconds:     reg.Histogram(n("query_score_seconds"), "Query candidate-scoring phase latency.", nil),
+		activeSnapshots:  reg.Gauge(n("snapshots_active"), "Cross-shard snapshots acquired and not yet released."),
+		snapshotsTotal:   reg.Counter(n("snapshots_total"), "Cross-shard snapshots acquired."),
+		cache:            newCacheMetrics(reg, n),
 	}
 	s.om.Store(m)
 }

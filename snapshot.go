@@ -26,6 +26,9 @@ type snapCore struct {
 	images  []imageRecord
 	refs    []regionRef
 	byID    map[string]int
+	// bsigs is parallel to refs: the binary prefilter summary of each
+	// indexed region, always published at the same length as refs.
+	bsigs []binSig
 
 	liveRegions int
 	indexLen    int
@@ -210,6 +213,7 @@ func (db *DB) publishLocked() {
 		images:      db.images,
 		refs:        db.refs,
 		byID:        db.byID,
+		bsigs:       db.bsigs,
 		liveRegions: db.liveRegions,
 		indexLen:    db.tree.Len(),
 		height:      db.tree.Height(),

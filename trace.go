@@ -49,8 +49,12 @@ type ExplainParams struct {
 	Tau           float64 `json:"tau"`
 	Limit         int     `json:"limit"`
 	Refine        bool    `json:"refine"`
-	Matcher       string  `json:"matcher"`
-	Parallelism   int     `json:"parallelism"`
+	// Prefilter is the effective coarse-tier setting: false when the
+	// request asked for it but the database indexes bounding boxes, where
+	// the tier does not apply.
+	Prefilter   bool   `json:"prefilter"`
+	Matcher     string `json:"matcher"`
+	Parallelism int    `json:"parallelism"`
 }
 
 // ExplainStage is one pipeline stage of the candidate funnel. In and Out
@@ -113,23 +117,47 @@ type QueryTrace struct {
 // like the stages' own result slots; the scalar fields are written by
 // the single goroutine driving that shard's stages.
 type traceCollector struct {
-	version    uint64
-	indexHits  []int // per query region: raw index entries returned
-	nodeVisits []int // per query region: index nodes visited
-	probeOut   []int // per query region: hits surviving the probe filter
-	refineOut  []int // per query region: hits surviving refine
+	version      uint64
+	indexHits    []int // per query region: raw index entries returned
+	nodeVisits   []int // per query region: index nodes visited
+	probeOut     []int // per query region: hits surviving the probe filter
+	prefilterOut []int // per query region: hits surviving the coarse prefilter
+	refineOut    []int // per query region: hits surviving refine
 
-	probeNS, refineNS, aggregateNS, scoreNS int64
-	candidates, matches                     int
+	// prefiltered records that the plan ran the coarse tier, so fill
+	// knows to emit its funnel row (the effective setting can differ from
+	// the requested one on bounding-box databases).
+	prefiltered bool
+
+	probeNS, prefilterNS, refineNS, aggregateNS, scoreNS int64
+	candidates, matches                                  int
 }
 
 func newTraceCollector(nRegions int, version uint64) *traceCollector {
 	return &traceCollector{
-		version:    version,
-		indexHits:  make([]int, nRegions),
-		nodeVisits: make([]int, nRegions),
-		probeOut:   make([]int, nRegions),
-		refineOut:  make([]int, nRegions),
+		version:      version,
+		indexHits:    make([]int, nRegions),
+		nodeVisits:   make([]int, nRegions),
+		probeOut:     make([]int, nRegions),
+		prefilterOut: make([]int, nRegions),
+		refineOut:    make([]int, nRegions),
+	}
+}
+
+// recordNS files one stage's wall time into the collector slot matching
+// its plan name; the stage runner calls it after each stage completes.
+func (tc *traceCollector) recordNS(stage string, ns int64) {
+	switch stage {
+	case "probe":
+		tc.probeNS = ns
+	case "prefilter":
+		tc.prefilterNS = ns
+	case "refine":
+		tc.refineNS = ns
+	case "aggregate":
+		tc.aggregateNS = ns
+	case "score":
+		tc.scoreNS = ns
 	}
 }
 
@@ -159,6 +187,7 @@ func explainParams(p QueryParams) ExplainParams {
 		Tau:           p.Tau,
 		Limit:         p.Limit,
 		Refine:        p.Refine,
+		Prefilter:     p.Prefilter,
 		Matcher:       p.Matcher.String(),
 		Parallelism:   p.Parallelism,
 	}
@@ -180,15 +209,22 @@ func (qt *QueryTrace) fill(span *obs.Span, sharded bool, p QueryParams, qRegions
 	qt.Matches = matches
 	qt.ElapsedNS = stats.Elapsed.Nanoseconds()
 
-	probeHits, probeIndexHits, probeVisits, refineKept := 0, 0, 0, 0
+	prefiltered := len(tcs) > 0 && tcs[0].prefiltered
+	qt.Params.Prefilter = prefiltered
+
+	probeHits, prefilterKept, refineKept := 0, 0, 0
+	probeIndexHits, probeVisits := 0, 0
 	qt.Shards = make([]ExplainShard, len(tcs))
 	for i, tc := range tcs {
-		shardProbeOut := sumInts(tc.probeOut)
-		shardKept := shardProbeOut
+		shardKept := sumInts(tc.probeOut)
+		probeHits += shardKept
+		if prefiltered {
+			shardKept = sumInts(tc.prefilterOut)
+			prefilterKept += shardKept
+		}
 		if p.Refine {
 			shardKept = sumInts(tc.refineOut)
 		}
-		probeHits += shardProbeOut
 		refineKept += shardKept
 		shardIndexHits := sumInts(tc.indexHits)
 		shardVisits := sumInts(tc.nodeVisits)
@@ -202,7 +238,7 @@ func (qt *QueryTrace) fill(span *obs.Span, sharded bool, p QueryParams, qRegions
 			RegionsRetrieved: shardKept,
 			CandidateImages:  tc.candidates,
 			Matches:          tc.matches,
-			ProbeNS:          tc.probeNS + tc.refineNS + tc.aggregateNS,
+			ProbeNS:          tc.probeNS + tc.prefilterNS + tc.refineNS + tc.aggregateNS,
 			ScoreNS:          tc.scoreNS,
 		}
 	}
@@ -217,14 +253,23 @@ func (qt *QueryTrace) fill(span *obs.Span, sharded bool, p QueryParams, qRegions
 		IndexHits: probeIndexHits, NodesVisited: probeVisits,
 		DurationNS: maxNS(tcs, func(tc *traceCollector) int64 { return tc.probeNS }),
 	})
+	flow := probeHits
+	if prefiltered {
+		qt.Stages = append(qt.Stages, ExplainStage{
+			Stage: "prefilter", In: flow, Out: prefilterKept,
+			DurationNS: maxNS(tcs, func(tc *traceCollector) int64 { return tc.prefilterNS }),
+		})
+		flow = prefilterKept
+	}
 	if p.Refine {
 		qt.Stages = append(qt.Stages, ExplainStage{
-			Stage: "refine", In: probeHits, Out: refineKept,
+			Stage: "refine", In: flow, Out: refineKept,
 			DurationNS: maxNS(tcs, func(tc *traceCollector) int64 { return tc.refineNS }),
 		})
+		flow = refineKept
 	}
 	qt.Stages = append(qt.Stages, ExplainStage{
-		Stage: "aggregate", In: refineKept, Out: stats.CandidateImages,
+		Stage: "aggregate", In: flow, Out: stats.CandidateImages,
 		DurationNS: maxNS(tcs, func(tc *traceCollector) int64 { return tc.aggregateNS }),
 	})
 	qt.Stages = append(qt.Stages, ExplainStage{
@@ -236,4 +281,27 @@ func (qt *QueryTrace) fill(span *obs.Span, sharded bool, p QueryParams, qRegions
 			Stage: "merge", In: mergedIn, Out: matches, DurationNS: mergeNS,
 		})
 	}
+}
+
+// noteCacheMiss prepends the "cache" funnel row of a query that went
+// through an enabled result cache and missed: one lookup entered the
+// cache and one query proceeded into the pipeline. Called by the caching
+// wrapper after the underlying query filled the trace.
+func (qt *QueryTrace) noteCacheMiss(ns int64) {
+	qt.Stages = append([]ExplainStage{{Stage: "cache", In: 1, Out: 1, DurationNS: ns}}, qt.Stages...)
+}
+
+// fillCacheHit describes a query answered entirely from the result
+// cache: a single "cache" row with Out 0 — nothing reached the pipeline
+// — carrying the pinned version's funnel totals from the cached stats.
+// There are no shard rows and no trace id: no span tree was recorded.
+func (qt *QueryTrace) fillCacheHit(p QueryParams, sharded bool, stats QueryStats, matches int, ns int64) {
+	qt.TraceID = ""
+	qt.Sharded = sharded
+	qt.QueryRegions = stats.QueryRegions
+	qt.Params = explainParams(p)
+	qt.Matches = matches
+	qt.ElapsedNS = stats.Elapsed.Nanoseconds()
+	qt.Stages = append(qt.Stages[:0], ExplainStage{Stage: "cache", In: 1, Out: 0, DurationNS: ns})
+	qt.Shards = qt.Shards[:0]
 }

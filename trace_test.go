@@ -175,7 +175,7 @@ func TestTraceCompleteness(t *testing.T) {
 		}
 		want := map[string]int{
 			"query": 1, "query.extract": 1, "query.probe": 1, "query.score": 1,
-			"query.shard.probe": 4, "query.shard.score": 4,
+			"query.shard.probe": 4, "query.shard.aggregate": 4, "query.shard.score": 4,
 		}
 		for name, n := range want {
 			if byName[name] != n {

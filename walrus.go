@@ -78,6 +78,14 @@ type Options struct {
 	// GOMAXPROCS; 1 forces the serial path. The indexed regions and all
 	// query results are identical for every setting.
 	Parallelism int
+	// CacheSize is the capacity, in cached queries, of the version-keyed
+	// result cache serving repeated queries without touching the index.
+	// 0 (the default) disables caching. Entries are keyed on the pinned
+	// snapshot version (or the fleet's version vector), a fingerprint of
+	// the query, and the resolved parameters, so any committed write
+	// invalidates by construction; stale entries age out by LRU.
+	// SetCacheSize resizes at runtime.
+	CacheSize int
 	// Durability selects how aggressively a disk-backed database fsyncs
 	// its write-ahead log (see DurabilityPolicy). Ignored by in-memory
 	// databases. The zero value is DurabilityGroupCommit.
@@ -124,6 +132,27 @@ type QueryParams struct {
 	// 1 reproduces the serial query exactly. Results and stats are
 	// identical for every setting; only wall-clock time changes.
 	Parallelism int
+	// Prefilter plans the coarse rejection tier between the index probe
+	// and the refine/score stages: candidate hits are screened with a
+	// popcount Hamming test over precomputed binary signatures and the
+	// WBIIS variance acceptance test before the exact distance check runs
+	// on the survivors. At the default bounds both tests are
+	// conservative, so results are identical with the tier on or off;
+	// only the per-candidate work changes. Ignored by bounding-box
+	// databases (Options.UseBBox), whose probe envelope is exact already.
+	Prefilter bool
+	// PrefilterHamming overrides the Hamming acceptance bound (0 derives
+	// the exactness-preserving bound from Epsilon). Lower values reject
+	// harder but may drop true matches.
+	PrefilterHamming int
+	// PrefilterBeta is the WBIIS variance tolerance β (0 means the WBIIS
+	// default, 0.5). The β-test is backed by a conservative σ guard, so β
+	// tuning affects speed, never correctness.
+	PrefilterBeta float64
+	// NoCache makes this query bypass the version-keyed result cache:
+	// it neither reads nor populates it. Meaningful only on a database
+	// with a cache configured (Options.CacheSize / SetCacheSize).
+	NoCache bool
 }
 
 // DefaultQueryParams returns the paper's query parameters with no
@@ -163,6 +192,12 @@ type QueryStats struct {
 	// query region extraction, index probes (plus distance filtering), and
 	// image matching/scoring.
 	ExtractTime, ProbeTime, ScoreTime time.Duration
+	// Cache reports how the result cache handled the query: "" (no cache
+	// configured, or a path that bypasses caching, such as scene
+	// queries), "hit", "miss", or "bypass" (NoCache was set). On a hit
+	// every other field echoes the cached execution except Elapsed, which
+	// is the lookup time.
+	Cache string `json:",omitempty"`
 }
 
 // AvgRegionsPerQueryRegion is Table 1's "Avg. No. of Regions Retrieved".
@@ -220,6 +255,11 @@ type DB struct {
 	images []imageRecord  // guarded by mu
 	byID   map[string]int // guarded by mu
 	refs   []regionRef    // guarded by mu
+	// bsigs holds the binary prefilter signature of each indexed region,
+	// parallel to refs (guarded by mu). Append-only: Remove tombstones the
+	// ref and the stale summary is simply never read again, so snapshots
+	// share the backing array without copy-on-write.
+	bsigs []binSig
 	// liveRegions counts refs whose Local >= 0 (guarded by mu); kept
 	// incrementally so publishing a version is O(1) in catalog size.
 	liveRegions int
@@ -238,6 +278,11 @@ type DB struct {
 	// cur is the currently published catalog version; readers load it
 	// lock-free. Never nil once a constructor returns.
 	cur atomic.Pointer[snapCore]
+
+	// cache is the version-keyed query result cache; nil (the default
+	// unless Options.CacheSize is set) means caching is off and the query
+	// wrappers pay one atomic load. Swapped whole by SetCacheSize.
+	cache atomic.Pointer[queryCache]
 
 	// om points at the pre-resolved observability handles installed by
 	// SetMetrics; nil (the default) means observability is off and the
@@ -289,7 +334,23 @@ func prepare(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{opts: opts, ext: ext, byID: make(map[string]int), defaultWorkers: opts.Parallelism}, nil
+	db := &DB{opts: opts, ext: ext, byID: make(map[string]int), defaultWorkers: opts.Parallelism}
+	if opts.CacheSize > 0 {
+		db.cache.Store(newQueryCache(opts.CacheSize))
+	}
+	return db, nil
+}
+
+// SetCacheSize resizes the version-keyed query result cache at runtime:
+// n > 0 installs a fresh, empty cache with that capacity; n <= 0
+// disables caching. Safe to call while queries run — in-flight queries
+// finish against the cache they loaded.
+func (db *DB) SetCacheSize(n int) {
+	if n <= 0 {
+		db.cache.Store(nil)
+		return
+	}
+	db.cache.Store(newQueryCache(n))
 }
 
 // ingestWorkers resolves a caller-supplied worker count against the
@@ -350,25 +411,47 @@ func (db *DB) Query(im *imgio.Image, p QueryParams) ([]Match, QueryStats, error)
 // QueryContext is Query with a deadline: the context is checked between
 // pipeline stages and inside the parallel probe/score tasks, so an
 // expired request stops consuming worker slots and returns the context's
-// error.
+// error. With a result cache configured, the lookup keys on the pinned
+// snapshot version and a fingerprint of the query pixels — see
+// Options.CacheSize.
 func (db *DB) QueryContext(ctx context.Context, im *imgio.Image, p QueryParams) ([]Match, QueryStats, error) {
 	s, err := db.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer s.Release()
-	return s.QueryContext(ctx, im, p)
+	c := db.cache.Load()
+	if c == nil {
+		return s.QueryContext(ctx, im, p)
+	}
+	return cachedQuery(ctx, c, db.cacheMetrics(), s.core.version, false, hashQueryImage(im), p,
+		func() ([]Match, QueryStats, error) { return s.QueryContext(ctx, im, p) })
 }
 
 // QueryByID runs a query using the stored regions of an already-indexed
-// image, skipping extraction; see Snapshot.QueryByID.
+// image, skipping extraction; see Snapshot.QueryByID. Cacheable like
+// QueryContext, keyed on the id instead of pixels.
 func (db *DB) QueryByID(ctx context.Context, id string, p QueryParams) ([]Match, QueryStats, error) {
 	s, err := db.Snapshot()
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer s.Release()
-	return s.QueryByID(ctx, id, p)
+	c := db.cache.Load()
+	if c == nil {
+		return s.QueryByID(ctx, id, p)
+	}
+	return cachedQuery(ctx, c, db.cacheMetrics(), s.core.version, false, hashQueryID(id), p,
+		func() ([]Match, QueryStats, error) { return s.QueryByID(ctx, id, p) })
+}
+
+// cacheMetrics returns the cache instrument set, nil when metrics are
+// detached.
+func (db *DB) cacheMetrics() *cacheMetrics {
+	if m := db.om.Load(); m != nil {
+		return &m.cache
+	}
+	return nil
 }
 
 // Remove deletes an image and its regions from the database. It reports
